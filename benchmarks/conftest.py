@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports and asserts the qualitative shape
+(who wins, roughly by how much, where crossovers fall).
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales the simulated work so the full
+suite can be smoke-tested quickly, e.g.::
+
+    REPRO_BENCH_SCALE=0.25 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def work_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

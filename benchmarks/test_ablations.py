@@ -1,0 +1,71 @@
+"""Design-choice ablation benchmarks (DESIGN.md section 5).
+
+Not in the paper — these isolate vScale's individual decisions:
+policy (consumption-aware vs. weight-only), mechanism (microsecond freeze
+vs. Linux hotplug), extendability rounding, and daemon period.
+"""
+
+from repro.experiments import ablations
+from repro.metrics.report import Table
+
+
+def _print(points, title):
+    table = Table(title, ["variant", "duration (s)", "VM wait (s)", "reconfigs"])
+    for point in points:
+        table.add_row(
+            point.label,
+            point.duration_ns / 1e9,
+            point.wait_ns / 1e9,
+            point.reconfigurations,
+        )
+    print()
+    print(table.render())
+
+
+def test_mechanism_ablation(bench_once):
+    """Same policy, different mechanism: the balancer's microsecond cost
+    must beat both no-scaling and hotplug-based scaling."""
+    points = bench_once(ablations.run_mechanism_ablation)
+    _print(points, "Ablation: reconfiguration mechanism (cg, heavy spin)")
+    fixed, hotplug, vscale = points
+    assert vscale.duration_ns < fixed.duration_ns
+    assert vscale.wait_ns < fixed.wait_ns * 0.3
+    # Hotplug pays stop_machine stalls and reacts late; it must not beat
+    # the balancer.
+    assert vscale.duration_ns <= hotplug.duration_ns * 1.05
+
+
+def test_policy_ablation(bench_once):
+    """Consumption-aware extendability vs. VCPU-Bal's weight-only target."""
+    points = bench_once(ablations.run_policy_ablation)
+    _print(points, "Ablation: scaling policy (cg, heavy spin)")
+    vscale, vcpubal = points
+    # With this weight configuration both policies land on similar
+    # targets; the decentralized, consumption-aware daemon must not lose
+    # to the centralized weight-only manager, whose per-decision cost
+    # (libxl sweep + hotplug) is orders of magnitude higher.
+    assert vscale.duration_ns <= vcpubal.duration_ns * 1.15
+
+
+def test_rounding_ablation(bench_once):
+    """ceil vs floor vs conservative rounding of the vCPU target."""
+    points = bench_once(ablations.run_rounding_ablation)
+    _print(points, "Ablation: extendability rounding (ua, heavy spin)")
+    by_label = {p.label: p for p in points}
+    # For busy-waiting workloads the extra partially-backed vCPU of pure
+    # ceil dilutes every sibling; conservative must not lose to it.
+    assert (
+        by_label["round=conservative"].duration_ns
+        <= by_label["round=ceil"].duration_ns * 1.1
+    )
+
+
+def test_period_ablation(bench_once):
+    """Daemon polling period: 10ms tracks the bursts; 1s misses them."""
+    points = bench_once(ablations.run_period_ablation)
+    _print(points, "Ablation: daemon polling period (cg, heavy spin)")
+    by_label = {p.label: p for p in points}
+    fast = by_label["period=10ms"]
+    slow = by_label["period=1000ms"]
+    assert fast.reconfigurations >= slow.reconfigurations
+    assert fast.duration_ns <= slow.duration_ns * 1.15

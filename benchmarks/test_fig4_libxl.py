@@ -1,0 +1,25 @@
+"""Benchmark for Figure 4: dom0/libxl monitoring cost."""
+
+from repro.experiments import fig4
+from repro.hypervisor.dom0 import Dom0Load
+
+
+def test_fig4_libxl_read_costs(bench_once):
+    result = bench_once(fig4.run, 10_000)
+    print()
+    print(result.render())
+    # Shape: linear growth with #VMs, inflated by dom0 I/O load.
+    for load in Dom0Load:
+        series = result.points[load]
+        assert series[1]["avg_ns"] < series[20]["avg_ns"] < series[50]["avg_ns"]
+    assert (
+        result.avg_ms(Dom0Load.IDLE, 50)
+        < result.avg_ms(Dom0Load.DISK_IO, 50)
+        < result.avg_ms(Dom0Load.NET_IO, 50)
+    )
+    # Paper anchors: >6ms average at 50 VMs under network I/O, with the
+    # maximum an order of magnitude above the idle case's per-VM walk.
+    assert result.avg_ms(Dom0Load.NET_IO, 50) > 6.0
+    assert result.max_ms(Dom0Load.NET_IO, 50) > 12.0
+    # One-VM idle read ~0.5ms: already ~500x the vScale channel's ~1us.
+    assert 0.3 < result.points[Dom0Load.IDLE][1]["avg_ns"] / 1e6 < 1.0

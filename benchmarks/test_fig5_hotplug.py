@@ -1,0 +1,30 @@
+"""Benchmark for Figure 5: CPU hotplug latency CDFs across kernels."""
+
+from repro.core.balancer import BalancerCosts
+from repro.experiments import fig5
+from repro.metrics.ascii import cdf_plot
+
+
+def test_fig5_hotplug_latency_cdfs(bench_once):
+    result = bench_once(fig5.run, 100)
+    print()
+    print(result.render())
+    for version in ("v2.6.32", "v3.14.15"):
+        points = [(ns / 1e6, f) for ns, f in result.cdf(version, "remove")]
+        print()
+        print(cdf_plot(f"unhotplug latency CDF, {version} (ms)", points))
+    # Removal: always milliseconds, with heavy tails — over 100ms on the
+    # older kernels, tens of ms even on the newest.
+    for version, reservoir in result.remove.items():
+        assert reservoir.min() >= 1e6
+        assert reservoir.max() >= 20e6
+    assert result.remove["v2.6.32"].max() >= 80e6
+    # Addition: 350-500us at best on 3.14.15, tens of ms elsewhere.
+    assert 300e3 <= result.add["v3.14.15"].min() <= 600e3
+    for version in ("v2.6.32", "v3.2.60", "v4.2"):
+        assert result.add[version].percentile(0.5) >= 5e6
+    # vScale's freeze is 100x to 100,000x faster than any hotplug op.
+    vscale_ns = BalancerCosts().total_ns
+    for version in result.remove:
+        ratio = result.remove[version].percentile(0.5) / vscale_ns
+        assert 100 <= ratio <= 100_000

@@ -1,0 +1,13 @@
+"""Benchmark for Table 1: vScale channel read overhead."""
+
+from repro.experiments import table1
+
+
+def test_table1_channel_read_overhead(bench_once):
+    result = bench_once(table1.run, 1_000_000)
+    print()
+    print(result.render())
+    # Paper: 0.69us syscall, +0.22us hypercall = 0.91us total.
+    assert 0.6 <= result.syscall_us <= 0.8
+    assert 0.18 <= result.hypercall_us <= 0.26
+    assert 0.8 <= result.total_us <= 1.0

@@ -1,0 +1,22 @@
+"""Benchmark for Table 2: interrupt quiescence of a frozen vCPU."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_frozen_vcpu_quiescence(bench_once):
+    result = bench_once(table2.run)
+    print()
+    print(result.render())
+    # Active vCPUs tick at the guest's 1000 HZ.
+    for rate in result.timer_before:
+        assert rate == pytest.approx(1000, abs=40)
+    for rate in result.timer_after[:3]:
+        assert rate == pytest.approx(1000, abs=40)
+    # The frozen vCPU is fully quiescent without disabling interrupts.
+    assert result.timer_after[3] == 0
+    assert result.ipi_after[3] == 0
+    # Reschedule IPIs keep flowing among the survivors.
+    assert sum(result.ipi_before) > 10
+    assert sum(result.ipi_after[:3]) > 10

@@ -1,0 +1,19 @@
+"""Benchmark for Table 3: the freeze-operation cost breakdown."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def test_table3_freeze_cost_breakdown(bench_once):
+    result = bench_once(table3.run, 200)
+    print()
+    print(result.render())
+    # Master-side cumulative cost: 2.10us in the paper.
+    assert result.breakdown[-1][2] == pytest.approx(2.10, abs=0.1)
+    assert result.live_master_us == pytest.approx(2.10, rel=0.1)
+    # The whole freeze — IPI, thread migration, parking — stays at the
+    # microsecond scale (hotplug needs milliseconds to 100+ ms).
+    assert result.live_freeze_latency_us < 100
+    # Per-thread migration ~1us (paper: 0.9-1.1us).
+    assert 0.8 <= result.migration_cost_us <= 1.2

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""NPB under consolidation: the paper's headline experiment, end to end.
+
+Runs one synchronization-intensive NAS benchmark (default: cg, OpenMP
+ACTIVE waiting policy) in a 4-vCPU VM consolidated with photo-slideshow
+desktop VMs at two vCPUs per pCPU, under all four configurations of the
+paper's Figure 6, and prints normalized execution times plus the VM's
+scheduling-queue waiting time.
+
+Usage::
+
+    python examples/npb_consolidation.py [app] [spincount]
+
+    app        one of bt cg dc ep ft is lu mg sp ua   (default: cg)
+    spincount  GOMP_SPINCOUNT                          (default: 30000000000)
+"""
+
+import sys
+
+from repro.experiments.npb_common import run_cell
+from repro.experiments.setups import ALL_CONFIGS, Config
+from repro.metrics.report import Table
+from repro.workloads.npb import NPB_PROFILES
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "cg"
+    spincount = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000_000_000
+    if app not in NPB_PROFILES:
+        raise SystemExit(f"unknown app {app!r}; choose from {sorted(NPB_PROFILES)}")
+
+    print(f"Running NPB '{app}' with GOMP_SPINCOUNT={spincount} under 4 configs...")
+    cells = {}
+    for config in ALL_CONFIGS:
+        cells[config] = run_cell(app, vcpus=4, spincount=spincount, config=config)
+        print(f"  {config.value:22s} done ({cells[config].duration_ns / 1e9:.2f}s)")
+
+    base = cells[Config.VANILLA].duration_ns
+    table = Table(
+        f"NPB {app} (4-vCPU VM, 2 vCPUs/pCPU consolidation)",
+        ["configuration", "time (s)", "normalized", "VM wait (s)", "vIPI/s/vCPU"],
+    )
+    for config in ALL_CONFIGS:
+        cell = cells[config]
+        table.add_row(
+            config.value,
+            cell.duration_ns / 1e9,
+            cell.duration_ns / base,
+            cell.wait_ns / 1e9,
+            f"{cell.ipi_rate_per_vcpu:.0f}",
+        )
+    print()
+    print(table.render())
+
+    vscale = cells[Config.VSCALE]
+    if vscale.vcpu_trace:
+        print("\nvScale active-vCPU trace (time, online):")
+        for t, n in vscale.vcpu_trace[:20]:
+            print(f"  {t / 1e9:6.3f}s -> {n}")
+
+
+if __name__ == "__main__":
+    main()

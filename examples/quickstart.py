@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: watch vScale adapt a VM's vCPUs to its real CPU availability.
+
+Builds a 4-pCPU host with two VMs:
+
+* ``worker`` — a 4-vCPU VM running four CPU-hungry threads, managed by the
+  full vScale stack (hypervisor extension + channel + daemon + balancer);
+* ``rival``  — a 4-vCPU VM that alternates between saturating the pool and
+  going idle.
+
+While the rival is busy the worker's fair share is two pCPUs, so the
+daemon freezes two vCPUs; when the rival idles, the released slack flows
+to the worker and the daemon brings them back.  Run it::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.daemon import VScaleDaemon
+from repro.guest.actions import BlockOn, Compute, SpinFlag
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.config import HostConfig
+from repro.hypervisor.machine import Machine
+from repro.units import MS, SEC
+
+
+def busy_forever():
+    """A thread that always wants CPU."""
+    while True:
+        yield Compute(10 * MS)
+
+
+def on_off(kernel, busy_ns, idle_ns):
+    """A thread alternating between a busy phase and sleep."""
+    cycle = 0
+    while True:
+        yield Compute(busy_ns)
+        timer = SpinFlag(f"rest{cycle}")
+        kernel.start_timer(idle_ns, timer)
+        yield BlockOn(timer)
+        cycle += 1
+
+
+def main() -> None:
+    machine = Machine(HostConfig(pcpus=4), seed=42)
+    worker_domain = machine.create_domain("worker", vcpus=4, weight=256)
+    rival_domain = machine.create_domain("rival", vcpus=4, weight=256)
+    worker = GuestKernel(worker_domain)
+    rival = GuestKernel(rival_domain)
+
+    for index in range(4):
+        worker.spawn(busy_forever(), f"crunch{index}")
+    for index in range(4):
+        rival.spawn(on_off(rival, busy_ns=2 * SEC, idle_ns=2 * SEC), f"wave{index}")
+
+    machine.install_vscale()
+    daemon = VScaleDaemon(worker)
+    daemon.install()
+    machine.start()
+
+    print("time    worker-online  worker-extendability  rival-busy?")
+    for step in range(16):
+        machine.run(until=(step + 1) * 500 * MS)
+        ext = worker_domain.extendability_ns
+        ext_pcpus = ext / machine.config.vscale_period_ns if ext else float("nan")
+        rival_running = any(
+            v.state.value == "running" for v in rival_domain.vcpus
+        )
+        print(
+            f"{machine.sim.now / 1e9:5.1f}s        {worker.online_vcpus}"
+            f"              {ext_pcpus:4.2f} pCPUs          {rival_running}"
+        )
+
+    print()
+    print(f"daemon decisions: {daemon.decisions}, reconfigurations: {daemon.reconfigurations}")
+    print("vCPU-count trace (time, online):")
+    for t, n in daemon.vcpu_trace():
+        print(f"  {t / 1e9:6.3f}s -> {n}")
+    now = machine.sim.now
+    wait = worker_domain.total_wait_ns(now) / 1e9
+    run = worker_domain.total_run_ns(now) / 1e9
+    print(f"\nworker CPU time: {run:.2f}s, waiting time: {wait:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

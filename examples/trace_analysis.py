@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Trace one freeze/unfreeze cycle through the whole stack.
+
+Runs a busy 4-vCPU VM with the xentrace-style tracer recording the
+scheduler, interrupt, guest and vScale categories, performs one balancer
+freeze and one unfreeze, and prints:
+
+* the vScale protocol events in order (mark -> IPI -> migrations -> park);
+* a /proc/interrupts snapshot showing the frozen vCPU quiescent;
+* summary statistics over the raw trace.
+
+Usage::
+
+    python examples/trace_analysis.py
+"""
+
+from repro.core.balancer import VScaleBalancer
+from repro.guest import procfs
+from repro.guest.actions import Compute
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.config import HostConfig
+from repro.hypervisor.machine import Machine
+from repro.sim.trace import Tracer
+from repro.units import MS, SEC
+
+
+def busy(total_ns):
+    yield Compute(total_ns)
+
+
+def main() -> None:
+    tracer = Tracer(["sched", "irq", "guest", "vscale"], capacity=200_000)
+    machine = Machine(HostConfig(pcpus=4), seed=8, tracer=tracer)
+    domain = machine.create_domain("vm", vcpus=4)
+    kernel = GuestKernel(domain)
+    for index in range(6):
+        kernel.spawn(busy(20 * SEC), f"crunch{index}")
+    machine.start()
+    machine.run(until=300 * MS)
+
+    balancer = VScaleBalancer(kernel)
+    freeze_at = machine.sim.now
+    balancer.freeze(3)
+    machine.run(until=machine.sim.now + 200 * MS)
+    balancer.unfreeze(3)
+    machine.run(until=machine.sim.now + 200 * MS)
+
+    print("=== vScale protocol events (from the trace)")
+    for record in tracer.select(category="vscale", since_ns=freeze_at):
+        print(f"  {record}")
+    print()
+    print("=== thread migrations triggered by the cycle")
+    for record in tracer.select(category="guest", event="migrate", since_ns=freeze_at):
+        print(f"  {record}")
+    print()
+    print("=== /proc/interrupts after the cycle")
+    print(procfs.proc_interrupts(kernel))
+    print()
+    print("=== /proc/stat (run steal idle frozen, ms)")
+    print(procfs.proc_stat(kernel))
+    print()
+    print("=== trace volume by category")
+    for category in ("sched", "irq", "guest", "vscale"):
+        print(f"  {category:7s} {tracer.count(category=category):6d} events")
+    if tracer.dropped:
+        print(f"  (dropped {tracer.dropped} events at capacity)")
+
+
+if __name__ == "__main__":
+    main()

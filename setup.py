@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools lacks PEP 660 support.
+
+``pip install -e .`` on this toolchain requires the ``wheel`` package; the
+legacy ``python setup.py develop`` path works everywhere.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

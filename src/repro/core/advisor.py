@@ -1,0 +1,201 @@
+"""Application awareness: the paper's §7 future-work direction.
+
+    "it should be beneficial if applications can be made aware of the
+    VM's real computing power ... it would be interesting to explore how
+    vScale's interface can directly assist applications to optimize their
+    policy-specific decisions."
+
+This module implements that interface: a :class:`ComputeAdvisor` exposes
+the VM's current parallelism to applications (how many vCPUs are online
+now, how many the extendability calculation says are worth having, and a
+stability hint), plus a subscription API so runtimes can resize thread
+pools when the daemon reconfigures — the application-level analogue of
+``cpu_online_mask`` + notifier chains.
+
+:class:`AdaptiveTeam` demonstrates the consumer side: a fork-join runtime
+that sizes each *phase* of work from the advisor instead of pinning the
+team size at launch, avoiding both over-subscription after a shrink and
+under-parallelism after an expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.guest.actions import BlockOn, SpinFlag
+from repro.guest.sync import OpenMPBarrier
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.daemon import VScaleDaemon
+    from repro.guest.kernel import GuestKernel
+    from repro.guest.threads import Thread
+
+
+@dataclass(frozen=True)
+class ComputeAdvice:
+    """A snapshot of the VM's real computing power."""
+
+    #: vCPUs currently online (cpu_online_mask).
+    online_vcpus: int
+    #: The hypervisor's current optimal count (Algorithm 1's n_i).
+    optimal_vcpus: int
+    #: Extendability in units of full pCPUs.
+    extendability_pcpus: float
+    #: True when the last few observations agreed (safe to commit to a
+    #: long parallel phase at this width).
+    stable: bool
+
+    @property
+    def recommended_parallelism(self) -> int:
+        """What an application should size its next parallel phase to."""
+        return max(1, min(self.online_vcpus, self.optimal_vcpus))
+
+
+class ComputeAdvisor:
+    """Publishes :class:`ComputeAdvice` to applications.
+
+    Wraps the daemon's channel readings; applications either poll
+    :meth:`advice` or subscribe to reconfiguration callbacks.
+    """
+
+    #: Observations that must agree for the advice to count as stable.
+    STABILITY_WINDOW = 3
+
+    def __init__(self, kernel: "GuestKernel", daemon: "VScaleDaemon | None" = None):
+        self.kernel = kernel
+        self.daemon = daemon
+        self._history: list[int] = []
+        self._subscribers: list[Callable[[ComputeAdvice], None]] = []
+        self.polls = 0
+
+    def advice(self) -> ComputeAdvice:
+        """Read the current computing power (one channel read when the
+        daemon is present; pure guest state otherwise)."""
+        self.polls += 1
+        kernel = self.kernel
+        online = kernel.online_vcpus
+        machine = kernel.machine
+        domain = kernel.domain
+        if machine.vscale is not None:
+            ext_ns, n_opt = machine.hyp_read_extendability(domain)
+            period = machine.config.vscale_period_ns
+            ext_pcpus = ext_ns / period
+        else:
+            n_opt = online
+            ext_pcpus = float(online)
+        self._history.append(n_opt)
+        if len(self._history) > self.STABILITY_WINDOW:
+            self._history.pop(0)
+        stable = (
+            len(self._history) == self.STABILITY_WINDOW
+            and len(set(self._history)) == 1
+        )
+        return ComputeAdvice(
+            online_vcpus=online,
+            optimal_vcpus=n_opt,
+            extendability_pcpus=ext_pcpus,
+            stable=stable,
+        )
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[ComputeAdvice], None]) -> None:
+        """Register for a callback after every daemon reconfiguration."""
+        self._subscribers.append(callback)
+        if self.daemon is not None and not hasattr(self.daemon, "_advisor_hooked"):
+            self._hook_daemon()
+
+    def _hook_daemon(self) -> None:
+        daemon = self.daemon
+        assert daemon is not None
+        original_decide = daemon._decide
+
+        def wrapped(n_opt):
+            steps = original_decide(n_opt)
+            if steps:
+                self.kernel.sim.schedule(0, self._notify)
+            return steps
+
+        daemon._decide = wrapped  # type: ignore[method-assign]
+        daemon._advisor_hooked = True  # type: ignore[attr-defined]
+
+    def _notify(self) -> None:
+        advice = self.advice()
+        for callback in self._subscribers:
+            callback(advice)
+
+
+class AdaptiveTeam:
+    """A fork-join runtime that re-sizes its team between phases.
+
+    Each call to :meth:`run_phases` launches worker threads sized from the
+    advisor; between phases, the *leader* re-polls and the team grows or
+    shrinks to the recommendation (idle workers simply skip phases they
+    are not part of — mirroring OpenMP's ``if``/``num_threads`` clauses).
+    """
+
+    def __init__(self, kernel: "GuestKernel", advisor: ComputeAdvisor, name: str = "team"):
+        self.kernel = kernel
+        self.advisor = advisor
+        self.name = name
+        #: (phase index, width used) decisions, for inspection.
+        self.width_log: list[tuple[int, int]] = []
+
+    def run_phases(
+        self,
+        harness,
+        phase_work: Callable[[int, int, int], object],
+        phases: int,
+        max_width: int | None = None,
+    ) -> None:
+        """Launch the team.
+
+        ``phase_work(phase, rank, width)`` returns the behaviour fragment
+        for one worker in one phase (a generator to ``yield from``), and
+        must divide the phase's total work by ``width``.
+        """
+        width_cap = max_width or len(self.kernel.runqueues)
+        barrier_box: dict[int, OpenMPBarrier] = {}
+        width_box: dict[int, int] = {}
+
+        def leader_picks(phase: int) -> int:
+            advice = self.advisor.advice()
+            width = min(width_cap, advice.recommended_parallelism)
+            width_box[phase] = width
+            barrier_box[phase] = OpenMPBarrier(
+                self.kernel, parties=width_cap, spin_budget_ns=300_000,
+                name=f"{self.name}.p{phase}",
+            )
+            self.width_log.append((phase, width))
+            return width
+
+        def make_factory(rank: int):
+            def factory(thread: "Thread"):
+                return self._worker(
+                    thread, rank, phases, width_cap, leader_picks,
+                    width_box, barrier_box, phase_work,
+                )
+
+            return factory
+
+        harness.launch([make_factory(r) for r in range(width_cap)])
+
+    def _worker(
+        self, thread, rank, phases, width_cap, leader_picks,
+        width_box, barrier_box, phase_work,
+    ):
+        for phase in range(phases):
+            if rank == 0:
+                leader_picks(phase)
+                width_box.setdefault(phase, width_cap)
+            else:
+                # Wait until the leader published this phase's width.
+                while phase not in width_box:
+                    flag = SpinFlag(f"{self.name}.sync{phase}.{rank}")
+                    self.kernel.start_timer(1 * MS, flag)
+                    yield BlockOn(flag)
+            width = width_box[phase]
+            if rank < width:
+                yield from phase_work(phase, rank, width)
+            yield from barrier_box[phase].wait(thread)

@@ -1,0 +1,187 @@
+"""Baseline vCPU-scaling managers the paper compares against.
+
+* :class:`FixedVCPUPolicy` — vanilla Xen/Linux: all provisioned vCPUs stay
+  online forever (the no-op manager; useful for symmetric harness code).
+* :class:`VCPUBalManager` — VCPU-Bal (Song et al., APSys'13): the same idea
+  as vScale but (a) the target count considers only VM *weights*, not
+  consumption (not work-conserving), (b) monitoring is centralized in dom0
+  via libxl (hundreds of microseconds to milliseconds per poll, growing
+  with the number of VMs), and (c) reconfiguration uses Linux CPU hotplug
+  (milliseconds to 100+ ms).
+* :class:`HotplugScaler` — an ablation hybrid: vScale's extendability
+  policy, but Linux hotplug as the mechanism.  Isolates how much of
+  vScale's win comes from the mechanism's speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.guest.actions import BlockOn, Compute, SpinFlag
+from repro.guest.hotplug import HotplugMechanism, HotplugModel
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+    from repro.hypervisor.dom0 import Dom0Toolstack
+    from repro.hypervisor.machine import Machine
+
+
+class FixedVCPUPolicy:
+    """Keep every provisioned vCPU online (vanilla behaviour)."""
+
+    def __init__(self, kernel: "GuestKernel"):
+        self.kernel = kernel
+
+    def install(self) -> None:
+        """Nothing to do — present for harness symmetry."""
+
+
+@dataclass
+class VCPUBalConfig:
+    #: dom0's polling period.  VCPU-Bal polls coarsely because each poll
+    #: walks every domain through libxl.
+    period_ns: int = 100 * MS
+    min_vcpus: int = 1
+
+
+class VCPUBalManager:
+    """Centralized weight-only scaling through dom0 + CPU hotplug.
+
+    The manager "runs in dom0": its polling latency is charged against the
+    dom0 toolstack model, and its decisions reach the guest via the real
+    XenStore/XenBus path — an availability-key write, the guest driver's
+    watch upcall, and finally the hotplug operation.
+    """
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        dom0: "Dom0Toolstack",
+        hotplug_model: HotplugModel,
+        config: VCPUBalConfig | None = None,
+    ):
+        from repro.guest.hotplug import XenBusCpuDriver
+        from repro.hypervisor.xenstore import XenStore
+
+        self.kernel = kernel
+        self.dom0 = dom0
+        self.config = config or VCPUBalConfig()
+        self.mechanism = HotplugMechanism(kernel, hotplug_model)
+        self.store = XenStore(kernel.machine)
+        self.driver = XenBusCpuDriver(kernel, self.store, self.mechanism)
+        self.reconfigurations = 0
+        self._installed = False
+        self.trace: list[tuple[int, int]] = []
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("manager already installed")
+        self._installed = True
+        self.kernel.sim.schedule(self.config.period_ns, self._poll)
+
+    def _poll(self) -> None:
+        machine = self.kernel.machine
+        # Centralized monitoring: dom0 reads every VM's consumption.  The
+        # sampled latency delays the decision (and grows with #VMs).
+        latency = self.dom0.sample_read_all_ns(len(machine.domains))
+        self.kernel.sim.schedule(latency, self._decide)
+
+    def _decide(self) -> None:
+        from repro.hypervisor.xenstore import availability_path
+
+        machine = self.kernel.machine
+        target = self._weight_only_target(machine)
+        online = self.kernel.online_vcpus
+        if target != online and not self.mechanism.busy:
+            name = self.kernel.domain.name
+            if target < online:
+                candidates = [
+                    i
+                    for i in range(len(self.kernel.runqueues))
+                    if i not in self.kernel.cpu_freeze_mask and i != 0
+                ]
+                if candidates:
+                    self.store.write(
+                        availability_path(name, max(candidates)), "offline"
+                    )
+                    self.reconfigurations += 1
+            else:
+                frozen = sorted(self.kernel.cpu_freeze_mask)
+                if frozen:
+                    self.store.write(availability_path(name, frozen[0]), "online")
+                    self.reconfigurations += 1
+            self.trace.append((self.kernel.sim.now, self.kernel.online_vcpus))
+        self.kernel.sim.schedule(self.config.period_ns, self._poll)
+
+    def _weight_only_target(self, machine: "Machine") -> int:
+        """VCPU-Bal's target: the VM's weight share of the pool, ignoring
+        what co-located VMs actually consume."""
+        domain = self.kernel.domain
+        total_weight = sum(d.weight for d in machine.domains)
+        share = domain.weight / total_weight * machine.config.pcpus
+        import math
+
+        target = max(self.config.min_vcpus, math.ceil(share - 1e-9))
+        return min(target, len(domain.vcpus))
+
+
+class HotplugScaler:
+    """vScale's policy with Linux hotplug as the mechanism (ablation).
+
+    Runs as an in-guest daemon thread like vScale's, but each
+    reconfiguration pays the sampled hotplug latency and the stop_machine
+    stall.
+    """
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        hotplug_model: HotplugModel,
+        period_ns: int = 10 * MS,
+        min_vcpus: int = 1,
+    ):
+        from repro.core.channel import VScaleChannel
+
+        self.kernel = kernel
+        self.channel = VScaleChannel(kernel.domain)
+        self.mechanism = HotplugMechanism(kernel, hotplug_model)
+        self.period_ns = period_ns
+        self.min_vcpus = min_vcpus
+        self.reconfigurations = 0
+        self.thread = None
+
+    def install(self):
+        if self.thread is not None:
+            raise RuntimeError("scaler already installed")
+        self.thread = self.kernel.spawn(
+            self._behavior(), name="hotplug-scaled", rt=True, pinned_to=0
+        )
+        return self.thread
+
+    def _behavior(self):
+        kernel = self.kernel
+        while True:
+            timer = SpinFlag("hotplugd.timer")
+            kernel.start_timer(self.period_ns, timer)
+            yield BlockOn(timer)
+            if self.mechanism.busy:
+                continue
+            _ext, n_opt, cost = self.channel.read()
+            yield Compute(cost)
+            total = len(kernel.runqueues)
+            target = max(self.min_vcpus, min(n_opt, total))
+            online = kernel.online_vcpus
+            if target < online:
+                candidates = [
+                    i
+                    for i in range(total)
+                    if i not in kernel.cpu_freeze_mask and i != 0
+                ]
+                if candidates:
+                    self.mechanism.remove_vcpu(max(candidates))
+                    self.reconfigurations += 1
+            elif target > online and kernel.cpu_freeze_mask:
+                self.mechanism.add_vcpu(min(kernel.cpu_freeze_mask))
+                self.reconfigurations += 1

@@ -1,0 +1,181 @@
+"""The vScale user-space daemon.
+
+The daemon is a real-time-class thread pinned to vCPU0.  Every period it
+reads the VM's CPU extendability through the vScale channel and, when the
+optimal vCPU count differs from the current online count, drives the
+balancer to freeze or unfreeze vCPUs — highest index frozen first, lowest
+unfrozen first, so vCPU0 (the master) is always online.
+
+The daemon is an *optional service*: applications that pin threads or
+assume a fixed processor count can disable it (``enabled=False`` or
+:meth:`VScaleDaemon.disable`), matching the paper's flexibility principle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.balancer import VScaleBalancer
+from repro.core.channel import VScaleChannel
+from repro.guest.actions import BlockOn, Compute, SpinFlag
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+    from repro.guest.threads import Thread
+
+
+@dataclass
+class DaemonConfig:
+    """Daemon policy knobs."""
+
+    #: Polling period.  The hypervisor recomputes every 10 ms; polling at
+    #: the same rate keeps reaction latency within one recalculation.
+    period_ns: int = 10 * MS
+    #: Consecutive observations of a *smaller* optimum required before
+    #: freezing (hysteresis against transient dips).  Growth is immediate:
+    #: unfreezing early only costs a little fragmentation, while freezing
+    #: late wastes the whole benefit.
+    shrink_patience: int = 2
+    #: Never scale below this many online vCPUs.
+    min_vcpus: int = 1
+    #: Optional hard limit on reconfigurations per wakeup.
+    max_steps_per_wakeup: int = 8
+    #: How to round the extendability (in pCPUs) into a vCPU target.
+    #: Algorithm 1 ceils, granting one extra vCPU for a partial allocation.
+    #: For busy-waiting workloads that extra vCPU dilutes every sibling
+    #: (the guest spreads load evenly, so 3.2 pCPUs over 4 vCPUs = 0.8
+    #: each — and spinning turns the missing 20% into team-wide stalls).
+    #: The default policy therefore only takes the extra vCPU once the
+    #: partial allocation is worth most of a pCPU.  The ceil/floor choice
+    #: is ablated in benchmarks/test_ablations.py.
+    round_mode: str = "conservative"  # "ceil" | "floor" | "conservative"
+    #: Fraction of a pCPU the partial allocation must reach before the
+    #: conservative policy adds the extra vCPU.
+    partial_threshold: float = 0.8
+
+
+class VScaleDaemon:
+    """Monitors extendability and reconfigures vCPUs through the balancer."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        config: DaemonConfig | None = None,
+        channel: VScaleChannel | None = None,
+        balancer: VScaleBalancer | None = None,
+    ):
+        self.kernel = kernel
+        self.config = config or DaemonConfig()
+        self.channel = channel or VScaleChannel(kernel.domain)
+        self.balancer = balancer or VScaleBalancer(kernel)
+        self.enabled = True
+        self._shrink_votes = 0
+        self.decisions = 0
+        self.reconfigurations = 0
+        #: (time_ns, online_vcpus) trace for Figure 8.
+        self.trace: list[tuple[int, int]] = []
+        self.thread: "Thread | None" = None
+
+    # ------------------------------------------------------------------
+    def install(self) -> "Thread":
+        """Spawn the daemon thread (RT class, pinned to vCPU0)."""
+        if self.thread is not None:
+            raise RuntimeError("daemon already installed")
+        self.thread = self.kernel.spawn(
+            self._behavior(), name="vscaled", rt=True, pinned_to=0
+        )
+        return self.thread
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    def _behavior(self):
+        """The daemon loop as a thread behaviour."""
+        kernel = self.kernel
+        while True:
+            timer = SpinFlag("vscaled.timer")
+            kernel.start_timer(self.config.period_ns, timer)
+            yield BlockOn(timer)
+            if not self.enabled:
+                continue
+            extendability_ns, n_opt, read_cost = self.channel.read()
+            yield Compute(read_cost)
+            target = self._round_target(extendability_ns, n_opt)
+            steps = self._decide(target)
+            for index, freeze in steps:
+                if freeze:
+                    self.balancer.freeze(index)
+                else:
+                    self.balancer.unfreeze(index)
+                self.reconfigurations += 1
+                # The master-side cost was charged to rq0 by the balancer;
+                # yield a zero-compute so it is consumed before continuing.
+                yield Compute(0)
+            if steps:
+                self.trace.append((kernel.sim.now, kernel.online_vcpus))
+                kernel.machine.tracer.emit(
+                    kernel.sim.now, "vscale", "decision", kernel.domain.name,
+                    online=kernel.online_vcpus, extendability_ns=extendability_ns,
+                )
+
+    def _round_target(self, extendability_ns: int, n_opt: int) -> int:
+        """Turn extendability into a vCPU target per the rounding policy.
+
+        ``n_opt`` is the hypervisor's ceil-rounded suggestion (Algorithm 1
+        line 11/18); the daemon may round more conservatively — see
+        :attr:`DaemonConfig.round_mode`.
+        """
+        mode = self.config.round_mode
+        if mode == "ceil":
+            return n_opt
+        pcpus = extendability_ns / self.channel.domain.machine.config.vscale_period_ns
+        import math
+
+        if mode == "floor":
+            return max(1, math.floor(pcpus + 1e-9))
+        if mode == "conservative":
+            base = math.floor(pcpus + 1e-9)
+            fraction = pcpus - base
+            if fraction >= self.config.partial_threshold:
+                base += 1
+            return max(1, base)
+        raise ValueError(f"unknown round_mode {mode!r}")
+
+    def _decide(self, n_opt: int) -> list[tuple[int, bool]]:
+        """Map the optimal count to concrete freeze/unfreeze steps."""
+        self.decisions += 1
+        kernel = self.kernel
+        total = len(kernel.runqueues)
+        target = max(self.config.min_vcpus, min(n_opt, total))
+        online = kernel.online_vcpus
+        if target < online:
+            self._shrink_votes += 1
+            if self._shrink_votes < self.config.shrink_patience:
+                return []
+        else:
+            self._shrink_votes = 0
+        if target == online:
+            return []
+        steps: list[tuple[int, bool]] = []
+        if target > online:
+            frozen = sorted(kernel.cpu_freeze_mask)
+            for index in frozen[: target - online]:
+                steps.append((index, False))
+        else:
+            online_set = [
+                i for i in range(total) if i not in kernel.cpu_freeze_mask and i != 0
+            ]
+            for index in sorted(online_set, reverse=True)[: online - target]:
+                steps.append((index, True))
+        return steps[: self.config.max_steps_per_wakeup]
+
+    # ------------------------------------------------------------------
+    def vcpu_trace(self) -> list[tuple[int, int]]:
+        """The (time, online vCPUs) trace, for Figure 8."""
+        return list(self.trace)

@@ -1,0 +1,277 @@
+"""Algorithm 1: computing each VM's CPU extendability.
+
+vScale defines a VM's *CPU extendability* as the maximum amount of CPU the
+VM could receive from the hypervisor under work-conserving, proportional
+sharing, given the other VMs' observed consumption.  The algorithm:
+
+1. Compute every VM's fair share for the period: ``s_fair = w_i / Σw · t · P``.
+2. VMs that consumed less than their fair share are **releasers**: the
+   unused part of their fair share goes into the pool-wide slack, and their
+   extendability is pinned to their fair share (so a releaser can always
+   ramp straight back up to its deserved parallelism).
+3. VMs that consumed at least their fair share are **competitors**: each
+   receives, on top of its fair share, a weight-proportional slice of the
+   slack.
+4. The optimal vCPU count is ``n_i = ceil(s_ext / t)`` — the number of
+   full-capacity pCPUs the VM could keep busy, with one extra vCPU allowed
+   for a partial allocation.
+
+Reservations and caps clamp the extendability before the ceiling is taken.
+
+The :class:`VScaleExtension` wires the pure function into the hypervisor: a
+10 ms ticker samples each domain's consumption from the credit scheduler's
+own accounting data and publishes ``(extendability, n_i)`` into the domain
+struct, where the guest reads it through the vScale channel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.domain import Domain
+    from repro.hypervisor.machine import Machine
+
+
+@dataclass(frozen=True)
+class VMUsage:
+    """Input row for one VM: scheduling parameters + observed consumption."""
+
+    name: str
+    weight: int
+    #: CPU consumed during the period, in ns of pCPU time.
+    consumed_ns: int
+    #: Optional bounds, both expressed in pCPUs (cap=2.0 means "at most two
+    #: full pCPUs worth of time per period").
+    reservation: float = 0.0
+    cap: float | None = None
+    #: Number of (online) vCPUs the VM currently has; the optimal count is
+    #: additionally clamped to the VM's provisioned maximum by the caller.
+    max_vcpus: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be positive")
+        if self.consumed_ns < 0:
+            raise ValueError(f"{self.name}: consumption cannot be negative")
+        if self.reservation < 0:
+            raise ValueError(f"{self.name}: reservation cannot be negative")
+        if self.cap is not None and self.cap <= 0:
+            raise ValueError(f"{self.name}: cap must be positive when set")
+
+
+@dataclass(frozen=True)
+class ExtendabilityResult:
+    """Output row for one VM."""
+
+    name: str
+    fair_share_ns: int
+    extendability_ns: int
+    optimal_vcpus: int
+    is_competitor: bool
+
+
+def compute_extendability(
+    usages: Sequence[VMUsage],
+    pool_pcpus: int,
+    period_ns: int,
+    competitor_tolerance: float = 0.0,
+) -> dict[str, ExtendabilityResult]:
+    """Run Algorithm 1 over one accounting period.
+
+    Parameters
+    ----------
+    usages:
+        Per-VM weight and consumption over the period.
+    pool_pcpus:
+        ``P`` — the number of pCPUs in the shared pool.
+    period_ns:
+        ``t`` — the recalculation period (paper default: 10 ms).
+    competitor_tolerance:
+        Classify a VM as a competitor when it consumed at least
+        ``(1 - tolerance) x`` its fair share.  Algorithm 1 uses an exact
+        comparison (tolerance 0); the in-hypervisor extension passes a few
+        percent so measurement noise at the boundary cannot flap the
+        classification.
+
+    Returns
+    -------
+    Mapping from VM name to its :class:`ExtendabilityResult`.
+
+    Properties (enforced by the property-based tests):
+
+    * Work conservation: Σ extendability ≥ P·t when any competitor exists,
+      and Σ min(extendability, demand-at-fair) never exceeds capacity.
+    * Max–min fairness: slack is split between competitors proportionally
+      to weight.
+    * A releaser's extendability equals its fair share (ramp-up guarantee).
+    * ``1 ≤ n_i ≤ P`` (after clamping) for every VM.
+    """
+    if pool_pcpus < 1:
+        raise ValueError("pool must contain at least one pCPU")
+    if period_ns <= 0:
+        raise ValueError("period must be positive")
+    if not usages:
+        return {}
+    names = [u.name for u in usages]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate VM names in usage list")
+
+    total_weight = sum(u.weight for u in usages)
+    capacity = pool_pcpus * period_ns
+
+    slack = 0.0
+    competitors: list[VMUsage] = []
+    fair_share: dict[str, float] = {}
+    extendability: dict[str, float] = {}
+
+    for usage in usages:
+        s_fair = usage.weight / total_weight * capacity
+        fair_share[usage.name] = s_fair
+        # A cap below the fair share limits what the VM may consume, and
+        # therefore what it releases or competes for.
+        effective_fair = s_fair
+        if usage.cap is not None:
+            effective_fair = min(effective_fair, usage.cap * period_ns)
+        if usage.consumed_ns < effective_fair * (1.0 - competitor_tolerance):
+            # Releaser: contributes slack; extendability pinned to fair
+            # share so its deserved parallelism stays available.
+            slack += effective_fair - usage.consumed_ns
+            extendability[usage.name] = effective_fair
+        else:
+            competitors.append(usage)
+
+    competitor_weight = sum(u.weight for u in competitors)
+    for usage in competitors:
+        s_fair = fair_share[usage.name]
+        share_of_slack = (usage.weight / competitor_weight) * slack
+        extendability[usage.name] = s_fair + share_of_slack
+
+    results: dict[str, ExtendabilityResult] = {}
+    for usage in usages:
+        ext = extendability[usage.name]
+        # Reservation (lower bound) and cap (upper bound), both in pCPUs.
+        ext = max(ext, usage.reservation * period_ns)
+        if usage.cap is not None:
+            ext = min(ext, usage.cap * period_ns)
+        ext = min(ext, capacity)
+        n = math.ceil(ext / period_ns - _CEIL_EPSILON)
+        n = max(1, min(n, pool_pcpus))
+        if usage.max_vcpus is not None:
+            n = min(n, usage.max_vcpus)
+        results[usage.name] = ExtendabilityResult(
+            name=usage.name,
+            fair_share_ns=round(fair_share[usage.name]),
+            extendability_ns=round(ext),
+            optimal_vcpus=n,
+            is_competitor=usage in competitors,
+        )
+    return results
+
+
+#: Guard against float noise pushing e.g. exactly-2.0 pCPUs to ceil() == 3.
+_CEIL_EPSILON = 1e-9
+
+
+class VScaleExtension:
+    """The hypervisor-side vScale scheduler extension.
+
+    Runs ``vscale_ticker_fn`` every ``vscale_period_ns`` (default 10 ms) on
+    the pool's master pCPU: samples per-domain consumption accumulated by
+    ``burn_credits`` since the previous tick, runs Algorithm 1, and stores
+    the result in each domain struct for the guest to read via the channel.
+
+    UP domains (a single provisioned vCPU) are skipped — they have no room
+    to scale — but they still participate as competitors/releasers in the
+    calculation, exactly as in the paper.
+    """
+
+    #: EWMA weight of the newest window.  The credit scheduler's 30 ms
+    #: slices make raw 10 ms consumption windows bursty (a domain runs for
+    #: a whole slice, then waits); smoothing over ~3 windows recovers the
+    #: true demand without noticeably delaying reaction to load changes.
+    EWMA_ALPHA = 0.4
+    #: Classification slack at the competitor/releaser boundary (see
+    #: ``compute_extendability``).
+    COMPETITOR_TOLERANCE = 0.05
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.period_ns = machine.config.vscale_period_ns
+        self._last_consumed: dict[str, int] = {}
+        self._ewma: dict[str, float] = {}
+        self._running = False
+        #: Exposed for tests: the most recent full result set.
+        self.last_results: dict[str, ExtendabilityResult] = {}
+        #: Count of reconfigurations observed (freeze/unfreeze hypercalls).
+        self.reconfigurations: dict[str, int] = {}
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.machine.sim.schedule(self.period_ns, self._ticker)
+
+    def _ticker(self) -> None:
+        self.recompute()
+        self.machine.sim.schedule(self.period_ns, self._ticker)
+
+    def recompute(self) -> dict[str, ExtendabilityResult]:
+        """One vscale_ticker_fn invocation (callable directly from tests)."""
+        machine = self.machine
+        now = machine.sim.now
+        usages = []
+        for domain in machine.domains:
+            consumed_total = domain.total_consumed_ns
+            # Include the in-flight running intervals so a domain that has
+            # been on-CPU for the whole period is seen as consuming.
+            for vcpu in domain.vcpus:
+                if vcpu.run_started_at is not None:
+                    consumed_total += now - vcpu.run_started_at
+            previous = self._last_consumed.get(domain.name, 0)
+            consumed = max(0, consumed_total - previous)
+            self._last_consumed[domain.name] = consumed_total
+            smoothed = self._ewma.get(domain.name, float(consumed))
+            smoothed += self.EWMA_ALPHA * (consumed - smoothed)
+            self._ewma[domain.name] = smoothed
+            usages.append(
+                VMUsage(
+                    name=domain.name,
+                    weight=domain.weight,
+                    consumed_ns=round(smoothed),
+                    reservation=domain.reservation,
+                    cap=domain.cap,
+                    max_vcpus=len(domain.vcpus),
+                )
+            )
+        results = compute_extendability(
+            usages,
+            pool_pcpus=machine.config.pcpus,
+            period_ns=self.period_ns,
+            competitor_tolerance=self.COMPETITOR_TOLERANCE,
+        )
+        for domain in machine.domains:
+            result = results[domain.name]
+            if len(domain.vcpus) > 1:  # UP-VMs are omitted (no room to scale)
+                domain.extendability_ns = result.extendability_ns
+                domain.optimal_vcpus = result.optimal_vcpus
+        self.last_results = results
+        return results
+
+    def read(self, domain: "Domain") -> tuple[int, int]:
+        """Serve SCHEDOP_getvscaleinfo for one domain."""
+        if domain.extendability_ns is None or domain.optimal_vcpus is None:
+            # Before the first tick: report full-capacity optimism, which
+            # matches Xen booting all provisioned vCPUs.
+            return (
+                self.machine.config.pcpus * self.period_ns,
+                min(len(domain.vcpus), self.machine.config.pcpus),
+            )
+        return domain.extendability_ns, domain.optimal_vcpus
+
+    def note_reconfiguration(self, domain: "Domain") -> None:
+        """Track freeze/unfreeze hypercalls (accounting skips frozen vCPUs
+        immediately via Domain.active_vcpus(); this is just bookkeeping)."""
+        self.reconfigurations[domain.name] = self.reconfigurations.get(domain.name, 0) + 1

@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness builds its scenario through :mod:`repro.experiments.setups`,
+runs the simulation, and returns plain result rows that the corresponding
+benchmark under ``benchmarks/`` prints and sanity-checks.
+
+Index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+module    reproduces
+========  ==========================================================
+table1    vScale-channel read cost breakdown
+fig4      dom0/libxl monitoring cost vs #VMs and dom0 I/O load
+table2    interrupt quiescence of a frozen vCPU
+table3    freeze-operation cost breakdown
+fig5      CPU-hotplug latency CDFs across kernel versions
+fig6_7    NPB-OMP normalized execution times (4- and 8-vCPU VMs)
+fig8      active-vCPU trace while running bt
+fig9      VM waiting-time reduction
+fig10     NPB virtual-IPI rates per spin policy
+fig11_13  PARSEC normalized execution times and IPI rates
+fig14     Apache reply rate / connection time / response time
+ablations design-choice ablations (policy/mechanism/period splits)
+========  ==========================================================
+"""
+
+from repro.experiments.setups import (
+    Config,
+    Scenario,
+    ScenarioBuilder,
+    run_until_done,
+)
+
+__all__ = ["Config", "Scenario", "ScenarioBuilder", "run_until_done"]

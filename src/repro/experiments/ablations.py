@@ -1,0 +1,183 @@
+"""Design-choice ablations (DESIGN.md section 5).
+
+These are not in the paper's evaluation; they isolate the contributions of
+vScale's individual design decisions on our simulated stack:
+
+* **policy** — consumption-aware extendability (vScale) vs. weight-only
+  targets (VCPU-Bal): work conservation under mixed load.
+* **mechanism** — microsecond freeze/unfreeze vs. Linux CPU hotplug, with
+  the same extendability policy driving both.
+* **rounding** — ceil (Algorithm 1's letter) vs. floor vs. conservative
+  rounding of the extendability into a vCPU count.
+* **daemon period** — reaction latency vs. background burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.baselines import HotplugScaler, VCPUBalManager
+from repro.core.daemon import DaemonConfig
+from repro.experiments.setups import Config, ScenarioBuilder, run_until_done
+from repro.guest.hotplug import HotplugModel
+from repro.hypervisor.dom0 import Dom0Load, Dom0Toolstack
+from repro.sim.rng import SeedSequenceFactory
+from repro.units import MS, SEC
+from repro.workloads.npb import NPBApp, NPB_PROFILES
+from repro.workloads.openmp import SPINCOUNT_ACTIVE
+
+WARMUP_NS = 2 * SEC
+
+
+@dataclass
+class AblationPoint:
+    label: str
+    duration_ns: int
+    wait_ns: int
+    reconfigurations: int
+
+
+def _run_app(scenario, app_name: str, seed: int, work_scale: float) -> tuple[int, int]:
+    from dataclasses import replace
+
+    seeds = SeedSequenceFactory(seed)
+    profile = NPB_PROFILES[app_name]
+    if work_scale != 1.0:
+        profile = replace(profile, iterations=max(2, round(profile.iterations * work_scale)))
+    domain = scenario.worker_domain
+    wait0 = domain.total_wait_ns(scenario.machine.sim.now)
+    app = NPBApp(
+        scenario.worker_kernel, profile, SPINCOUNT_ACTIVE, seeds.generator("npb")
+    )
+    app.launch()
+    duration = run_until_done(scenario, app)
+    wait = domain.total_wait_ns(scenario.machine.sim.now) - wait0
+    return duration, wait
+
+
+def run_mechanism_ablation(
+    app_name: str = "cg",
+    hotplug_kernel: str = "v3.14.15",
+    seed: int = 3,
+    work_scale: float = 0.5,
+) -> list[AblationPoint]:
+    """Same policy, three mechanisms: none / hotplug / vScale balancer."""
+    points = []
+    seeds = SeedSequenceFactory(seed)
+
+    # No scaling at all (vanilla).
+    scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    points.append(AblationPoint("fixed vCPUs", duration, wait, 0))
+
+    # Extendability policy + Linux hotplug mechanism.
+    scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
+    model = HotplugModel(hotplug_kernel, seeds.generator("hp"))
+    scaler = HotplugScaler(scenario.worker_kernel, model)
+    scaler.install()
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    points.append(
+        AblationPoint(f"hotplug ({hotplug_kernel})", duration, wait, scaler.reconfigurations)
+    )
+
+    # Full vScale.
+    scenario = ScenarioBuilder(seed=seed).with_config(Config.VSCALE).build()
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    points.append(
+        AblationPoint(
+            "vScale balancer",
+            duration,
+            wait,
+            scenario.daemon.reconfigurations if scenario.daemon else 0,
+        )
+    )
+    return points
+
+
+def run_policy_ablation(
+    app_name: str = "cg", seed: int = 3, work_scale: float = 0.5
+) -> list[AblationPoint]:
+    """vScale's consumption-aware policy vs. VCPU-Bal's weight-only one."""
+    points = []
+    seeds = SeedSequenceFactory(seed)
+
+    scenario = ScenarioBuilder(seed=seed).with_config(Config.VSCALE).build()
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    points.append(
+        AblationPoint(
+            "vScale (consumption-aware)",
+            duration,
+            wait,
+            scenario.daemon.reconfigurations if scenario.daemon else 0,
+        )
+    )
+
+    scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
+    dom0 = Dom0Toolstack(seeds.generator("dom0"), load=Dom0Load.IDLE)
+    model = HotplugModel("v3.14.15", seeds.generator("hp"))
+    manager = VCPUBalManager(scenario.worker_kernel, dom0, model)
+    manager.install()
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    points.append(
+        AblationPoint("VCPU-Bal (weight-only, dom0)", duration, wait, manager.reconfigurations)
+    )
+    return points
+
+
+def run_rounding_ablation(
+    app_name: str = "ua", seed: int = 3, work_scale: float = 0.5
+) -> list[AblationPoint]:
+    """ceil vs. floor vs. conservative rounding of the vCPU target."""
+    points = []
+    for mode in ("ceil", "floor", "conservative"):
+        builder = ScenarioBuilder(seed=seed).with_config(Config.VSCALE)
+        builder.daemon_config = DaemonConfig(round_mode=mode)
+        scenario = builder.build()
+        scenario.start()
+        scenario.run(WARMUP_NS)
+        duration, wait = _run_app(scenario, app_name, seed, work_scale)
+        points.append(
+            AblationPoint(
+                f"round={mode}",
+                duration,
+                wait,
+                scenario.daemon.reconfigurations if scenario.daemon else 0,
+            )
+        )
+    return points
+
+
+def run_period_ablation(
+    app_name: str = "cg",
+    periods_ms: tuple[int, ...] = (10, 100, 1000),
+    seed: int = 3,
+    work_scale: float = 0.5,
+) -> list[AblationPoint]:
+    """Daemon polling period sensitivity."""
+    points = []
+    for period in periods_ms:
+        builder = ScenarioBuilder(seed=seed).with_config(Config.VSCALE)
+        builder.daemon_config = DaemonConfig(period_ns=period * MS)
+        scenario = builder.build()
+        scenario.start()
+        scenario.run(WARMUP_NS)
+        duration, wait = _run_app(scenario, app_name, seed, work_scale)
+        points.append(
+            AblationPoint(
+                f"period={period}ms",
+                duration,
+                wait,
+                scenario.daemon.reconfigurations if scenario.daemon else 0,
+            )
+        )
+    return points

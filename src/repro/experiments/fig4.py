@@ -1,0 +1,59 @@
+"""Figure 4: min/avg/max cost of reading all VMs' CPU consumption through
+dom0's libxl toolstack, as the number of VMs and dom0's I/O load vary.
+
+The paper sweeps 1-50 co-located VMs under three dom0 conditions (idle,
+disk I/O forwarding, network I/O forwarding), 10 000 reads per point, and
+contrasts the centralized costs with the ~1 us decentralized vScale
+channel read of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypervisor.dom0 import Dom0Load, Dom0Toolstack
+from repro.metrics.report import Table
+from repro.sim.rng import SeedSequenceFactory
+
+#: The VM counts on the paper's x axis.
+VM_COUNTS = [1, 10, 20, 30, 40, 50]
+
+
+@dataclass
+class Fig4Result:
+    #: load -> vm_count -> {min_ns, avg_ns, max_ns}
+    points: dict[Dom0Load, dict[int, dict[str, float]]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = Table(
+            "Figure 4: libxl read-all-VMs latency (ms)",
+            ["dom0 load", "#VMs", "min", "avg", "max"],
+        )
+        for load, series in self.points.items():
+            for count, stats in series.items():
+                table.add_row(
+                    load.value,
+                    count,
+                    stats["min_ns"] / 1e6,
+                    stats["avg_ns"] / 1e6,
+                    stats["max_ns"] / 1e6,
+                )
+        return table.render()
+
+    def avg_ms(self, load: Dom0Load, vm_count: int) -> float:
+        return self.points[load][vm_count]["avg_ns"] / 1e6
+
+    def max_ms(self, load: Dom0Load, vm_count: int) -> float:
+        return self.points[load][vm_count]["max_ns"] / 1e6
+
+
+def run(iterations: int = 10_000, seed: int = 1, vm_counts: list[int] | None = None) -> Fig4Result:
+    seeds = SeedSequenceFactory(seed)
+    result = Fig4Result()
+    for load in Dom0Load:
+        toolstack = Dom0Toolstack(seeds.generator(f"libxl.{load.name}"), load=load)
+        series: dict[int, dict[str, float]] = {}
+        for count in vm_counts or VM_COUNTS:
+            series[count] = toolstack.measure(count, iterations)
+        result.points[load] = series
+    return result

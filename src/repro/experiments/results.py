@@ -1,0 +1,85 @@
+"""Machine-readable persistence for experiment results.
+
+The experiment result objects are dataclass-like aggregates with nested
+collectors; this module flattens them into plain JSON-serializable
+dictionaries (and back-compatible summaries) so runs can be archived,
+diffed across code versions, and post-processed outside Python.
+
+Used by ``repro.experiments.runner --out`` (which writes ``<name>.json``
+next to the rendered text) and by tests that pin result schemas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.metrics.collectors import LatencyReservoir
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert experiment values into JSON-compatible data."""
+    if isinstance(value, LatencyReservoir):
+        if len(value) == 0:
+            return {"count": 0}
+        return {
+            "count": len(value),
+            "mean_ns": value.mean(),
+            "min_ns": value.min(),
+            "p50_ns": value.percentile(0.5),
+            "p99_ns": value.percentile(0.99),
+            "max_ns": value.max(),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key(k): _encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value") and hasattr(type(value), "__members__"):
+        return value.value  # Enum
+    return repr(value)
+
+
+def _key(key: Any) -> str:
+    """JSON object keys must be strings; join tuple keys readably."""
+    if isinstance(key, tuple):
+        return "|".join(_key(part) for part in key)
+    if hasattr(key, "value") and hasattr(type(key), "__members__"):
+        return str(key.value)
+    return str(key)
+
+
+def to_dict(result: Any, experiment: str | None = None) -> dict:
+    """Flatten a result object into a JSON-compatible dictionary."""
+    payload = {"experiment": experiment} if experiment else {}
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        payload.update(_encode(result))
+        return payload
+    # Non-dataclass results: take their public attributes.
+    for name in dir(result):
+        if name.startswith("_"):
+            continue
+        value = getattr(result, name)
+        if callable(value):
+            continue
+        payload[name] = _encode(value)
+    return payload
+
+
+def dumps(result: Any, experiment: str | None = None, indent: int = 2) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(to_dict(result, experiment), indent=indent, sort_keys=True)
+
+
+def save(result: Any, path, experiment: str | None = None) -> None:
+    """Write a result's JSON to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(dumps(result, experiment) + "\n")

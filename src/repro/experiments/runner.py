@@ -1,0 +1,190 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+The pytest benchmarks under ``benchmarks/`` are the canonical harness
+(they also assert shapes); this runner is the convenience front-end for
+producing the result text without pytest::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner table1 fig5
+    python -m repro.experiments.runner --all --scale 0.3 --out results/
+
+Each experiment writes its rendered table/series to stdout and, with
+``--out``, to ``<out>/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+
+def _table1(scale: float):
+    from repro.experiments import table1
+
+    return table1.run(iterations=max(1000, int(1_000_000 * scale)))
+
+
+def _fig4(scale: float) -> str:
+    from repro.experiments import fig4
+
+    return fig4.run(iterations=max(200, int(10_000 * scale)))
+
+
+def _table2(scale: float) -> str:
+    from repro.experiments import table2
+
+    return table2.run()
+
+
+def _table3(scale: float) -> str:
+    from repro.experiments import table3
+
+    return table3.run(iterations=max(20, int(200 * scale)))
+
+
+def _fig5(scale: float) -> str:
+    from repro.experiments import fig5
+
+    return fig5.run(cycles=max(20, int(100 * scale)))
+
+
+def _fig6(scale: float) -> str:
+    from repro.experiments import fig6_7
+
+    return fig6_7.run(vcpus=4, work_scale=scale)
+
+
+def _fig7(scale: float) -> str:
+    from repro.experiments import fig6_7
+    from repro.experiments.setups import Config
+    from repro.workloads.openmp import SPINCOUNT_ACTIVE
+
+    return fig6_7.run(
+        vcpus=8,
+        spincounts=(SPINCOUNT_ACTIVE,),
+        configs=[Config.VANILLA, Config.VSCALE],
+        work_scale=scale,
+    )
+
+
+def _fig8(scale: float) -> str:
+    from repro.experiments import fig8
+
+    return [fig8.run(vcpus=4, work_scale=scale), fig8.run(vcpus=8, work_scale=scale)]
+
+
+def _fig9(scale: float) -> str:
+    from repro.experiments import fig9
+
+    return fig9.run(work_scale=scale)
+
+
+def _fig10(scale: float) -> str:
+    from repro.experiments import fig10
+
+    return fig10.run(work_scale=scale)
+
+
+def _fig11(scale: float) -> str:
+    from repro.experiments import fig11_13
+
+    return fig11_13.run(vcpus=4, work_scale=scale)
+
+
+def _fig12(scale: float) -> str:
+    from repro.experiments import fig11_13
+    from repro.experiments.setups import Config
+
+    return fig11_13.run(
+        vcpus=8, configs=[Config.VANILLA, Config.VSCALE], work_scale=scale
+    )
+
+
+def _fig14(scale: float) -> str:
+    from repro.experiments import fig14
+    from repro.units import SEC
+
+    duration = max(1, round(3 * scale)) * SEC
+    return fig14.run(duration_ns=duration)
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[float], str]]] = {
+    "table1": ("vScale channel read overhead", _table1),
+    "fig4": ("dom0/libxl monitoring cost", _fig4),
+    "table2": ("frozen-vCPU interrupt quiescence", _table2),
+    "table3": ("freeze cost breakdown", _table3),
+    "fig5": ("CPU hotplug latency CDFs", _fig5),
+    "fig6": ("NPB normalized times, 4-vCPU VM", _fig6),
+    "fig7": ("NPB normalized times, 8-vCPU VM", _fig7),
+    "fig8": ("active-vCPU traces (bt)", _fig8),
+    "fig9": ("waiting-time reduction", _fig9),
+    "fig10": ("NPB vIPI rates", _fig10),
+    "fig11": ("PARSEC normalized times, 4-vCPU VM", _fig11),
+    "fig12": ("PARSEC normalized times, 8-vCPU VM", _fig12),
+    "fig14": ("Apache under httperf", _fig14),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner", description=__doc__
+    )
+    parser.add_argument("names", nargs="*", help="experiments to run")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="work scale factor (0 < scale <= 1 shrinks runs)",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="output directory")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.all else args.names
+    if not names:
+        parser.error("no experiments given (use --all or --list)")
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        description, fn = EXPERIMENTS[name]
+        print(f"=== {name}: {description}", flush=True)
+        started = time.time()
+        outcome = fn(args.scale)
+        parts = outcome if isinstance(outcome, list) else [outcome]
+        text = "\n\n".join(part.render() for part in parts)
+        print(text)
+        print(f"--- {name} done in {time.time() - started:.1f}s\n", flush=True)
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+            from repro.experiments import results as results_mod
+
+            payload = (
+                [results_mod.to_dict(part, name) for part in parts]
+                if len(parts) > 1
+                else results_mod.to_dict(parts[0], name)
+            )
+            import json
+
+            (args.out / f"{name}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Per-vCPU runqueues for the guest's fair scheduler.
+
+A deliberately small CFS: threads carry a virtual runtime, the queue picks
+the smallest, real-time threads always win, and waking threads get their
+vruntime clamped forward so sleepers cannot monopolize the CPU afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.threads import Thread
+
+
+class RunQueue:
+    """The ready queue plus current thread of one vCPU."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.ready: list["Thread"] = []
+        self.current: "Thread | None" = None
+        #: Monotonic floor used to clamp waking threads' vruntime.
+        self.min_vruntime = 0
+        #: Sim time at which the current thread was picked (for quantum).
+        self.picked_at = 0
+        #: Overhead (context switch, migration work) to burn before the
+        #: current thread's action proceeds.
+        self.pending_overhead_ns = 0
+
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """Number of runnable threads (the guest's load-balancing metric)."""
+        return len(self.ready) + (1 if self.current is not None else 0)
+
+    def enqueue(self, thread: "Thread") -> None:
+        if thread in self.ready or thread is self.current:
+            raise RuntimeError(f"{thread.name} already on rq{self.index}")
+        thread.vcpu_index = self.index
+        self.ready.append(thread)
+
+    def dequeue(self, thread: "Thread") -> None:
+        self.ready.remove(thread)
+
+    def pick_next(self) -> "Thread | None":
+        """Highest-priority ready thread: RT first, then min vruntime.
+
+        Ties break by queue order, which keeps the simulation deterministic.
+        """
+        if not self.ready:
+            return None
+        rt = [t for t in self.ready if t.rt]
+        pool = rt or self.ready
+        best = min(pool, key=lambda t: (t.vruntime, t.tid))
+        return best
+
+    def advance_min_vruntime(self) -> None:
+        candidates = [t.vruntime for t in self.ready]
+        if self.current is not None:
+            candidates.append(self.current.vruntime)
+        if candidates:
+            self.min_vruntime = max(self.min_vruntime, min(candidates))
+
+    def steal_candidates(self) -> list["Thread"]:
+        """Ready, migratable, non-RT threads a peer may pull."""
+        return [t for t in self.ready if t.migratable and not t.rt]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cur = self.current.name if self.current else "-"
+        return f"<rq{self.index} cur={cur} ready={len(self.ready)}>"

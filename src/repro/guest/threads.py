@@ -1,0 +1,94 @@
+"""Guest threads: the schedulable entities of Figure 3.
+
+The paper classifies a Linux kernel's schedulable entities into user
+threads (migratable), system-wide kthreads (migratable), per-CPU kthreads
+(not migratable, but quiescent once nothing drives them), and three classes
+of interrupts.  Here a :class:`Thread` carries that classification plus the
+generator that produces its behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Generator, TYPE_CHECKING
+
+from repro.guest.actions import Action
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+
+#: The generator type a workload program must produce.
+Behavior = Generator[Action, object, None]
+
+_thread_ids = itertools.count(1)
+
+
+class ThreadKind(enum.Enum):
+    """Thread classes from Figure 3."""
+
+    UTHREAD = "uthread"
+    KTHREAD_SYSTEM = "kthread_system"   # ext4-xxx, kauditd, rcu_sched, ...
+    KTHREAD_PERCPU = "kthread_percpu"   # ksoftirqd, kworker, swapper, ...
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class Thread:
+    """A guest thread bound to one runqueue at a time."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        behavior: Behavior,
+        name: str,
+        kind: ThreadKind = ThreadKind.UTHREAD,
+        rt: bool = False,
+    ):
+        self.kernel = kernel
+        self.behavior = behavior
+        self.name = name
+        self.kind = kind
+        #: Real-time scheduling class: always picked before fair threads and
+        #: never preempted by them.  The vScale daemon runs this way so the
+        #: fair-share workload cannot delay reconfiguration decisions.
+        self.rt = rt
+        self.tid = next(_thread_ids)
+        self.state = ThreadState.READY
+        #: Index of the vCPU whose runqueue currently holds the thread.
+        self.vcpu_index: int | None = None
+        #: Hard CPU affinity (None = migratable anywhere outside the mask).
+        self.pinned_to: int | None = None
+        #: Current in-flight action, if the generator is mid-primitive.
+        self.action: Action | None = None
+        #: Value to send into the generator on the next advance.
+        self.send_value: object = None
+        #: Fair-scheduler virtual runtime and total executed time (ns).
+        self.vruntime = 0
+        self.exec_ns = 0
+        #: Migration counter (Table 3 validation).
+        self.migrations = 0
+        #: Non-zero while inside a kernel spinlock critical section:
+        #: preemption is disabled there (preempt_disable), so the guest
+        #: scheduler must not switch the thread out mid-section.
+        self.nonpreemptible = 0
+
+    @property
+    def migratable(self) -> bool:
+        """Per-CPU kthreads must never be migrated (kernel panics)."""
+        return self.kind is not ThreadKind.KTHREAD_PERCPU and self.pinned_to is None
+
+    @property
+    def done(self) -> bool:
+        return self.state is ThreadState.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Thread {self.name}#{self.tid} {self.kind.value} "
+            f"{self.state.value} on v{self.vcpu_index}>"
+        )

@@ -1,0 +1,63 @@
+"""Host-level configuration knobs.
+
+Defaults follow the paper's testbed and Xen 4.5's credit-scheduler defaults:
+a 30 ms time slice, 10 ms ticks, credit accounting every 30 ms, and a CPU
+pool for guest domains that is separate from dom0's dedicated cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import MS, US  # noqa: F401 (US used by downstream configs)
+
+
+@dataclass
+class HostConfig:
+    """Configuration of the simulated physical host and its scheduler."""
+
+    #: Number of physical CPUs in the guest pool (dom0 runs outside it).
+    pcpus: int = 8
+    #: Scheduler time slice — Xen's default is 30 ms.
+    timeslice_ns: int = 30 * MS
+    #: Credit-burning tick period — Xen's default is 10 ms.
+    tick_ns: int = 10 * MS
+    #: Credit (re)allocation period — Xen runs accounting every 3 ticks.
+    acct_ns: int = 30 * MS
+    #: Cost of a world switch between vCPUs on a pCPU.
+    ctx_switch_ns: int = 1500
+    #: Xen's sched_ratelimit_us (default 1000): a vCPU that just started
+    #: running cannot be preempted — even by a BOOST wake — until it has
+    #: run this long.  This is what makes cross-vCPU wake-ups expensive
+    #: under consolidation: every futex-wake IPI to a busy pCPU stalls up
+    #: to a millisecond before the woken vCPU can run.
+    ratelimit_ns: int = 1 * MS
+    #: Latency of delivering a virtual interrupt to a *running* vCPU.
+    irq_delivery_ns: int = 1 * US
+    #: vScale extendability recalculation period (paper: 10 ms).
+    vscale_period_ns: int = 10 * MS
+    #: Use per-VM weight (the paper's modification).  When False, a domain's
+    #: share scales with its active vCPU count, as in unmodified Xen 4.5 —
+    #: kept for the ablation benchmark.
+    per_vm_weight: bool = True
+    #: Wake-up boost (Xen's BOOST priority) enabled.
+    boost_enabled: bool = True
+    #: Enable vCPU migration/stealing between pCPU runqueues.
+    allow_stealing: bool = True
+    #: Pool scheduler: "credit" (Xen 4.x csched, the paper's substrate) or
+    #: "vrt" (a virtual-runtime/Credit2-class scheduler, used to back the
+    #: paper's claim that Algorithm 1 generalizes across
+    #: proportional-share schedulers).
+    scheduler: str = "credit"
+    #: Extra labels for experiment bookkeeping.
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pcpus < 1:
+            raise ValueError("need at least one pCPU")
+        if self.timeslice_ns <= 0 or self.tick_ns <= 0 or self.acct_ns <= 0:
+            raise ValueError("timeslice, tick and accounting period must be positive")
+        if self.acct_ns % self.tick_ns:
+            raise ValueError("accounting period must be a multiple of the tick")
+        if self.scheduler not in ("credit", "vrt"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")

@@ -1,0 +1,91 @@
+"""Virtual interrupts, IPIs and event channels.
+
+Xen delivers three kinds of asynchronous signals into a guest that matter
+for vScale:
+
+* **Reschedule IPIs** between vCPUs of the same domain — the mechanism Linux
+  uses for futex wake-ups and for vScale's master-to-target "go migrate your
+  threads" kick (Algorithm 2 step 4).
+* **Function-call IPIs** (``smp_call_function``) — rare; only system
+  shutdown uses them against a frozen vCPU, so we model but rarely use them.
+* **Event-channel upcalls** for paravirtual I/O — each channel is *bound* to
+  one vCPU, and vScale retargets channels away from frozen vCPUs with a
+  cheap hypercall (``rebind_irq_to_cpu``).
+
+The key property the simulation must capture is the *delay* between posting
+an interrupt and the guest observing it: a running vCPU sees it in ~1 µs, a
+blocked vCPU is woken (with Xen's BOOST priority), but a **runnable** vCPU —
+sitting in a pCPU runqueue behind other VMs — sees nothing until the credit
+scheduler runs it again.  That queueing delay is the root cause of all three
+problem patterns in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.domain import Domain
+
+
+class IRQClass(enum.Enum):
+    """Classes of asynchronous signals a vCPU can receive."""
+
+    RESCHED_IPI = "resched_ipi"
+    CALL_IPI = "call_ipi"
+    EVTCHN = "evtchn"
+
+
+_irq_ids = itertools.count()
+
+
+@dataclass
+class IRQ:
+    """One posted interrupt instance, tracked from post to delivery."""
+
+    irq_class: IRQClass
+    post_time: int
+    payload: object = None
+    channel: "EventChannel | None" = None
+    irq_id: int = field(default_factory=lambda: next(_irq_ids))
+
+
+class EventChannel:
+    """A paravirtual I/O event channel bound to a single vCPU.
+
+    Devices (the network/disk models in :mod:`repro.workloads`) call
+    :meth:`post`; the guest receives the upcall on the bound vCPU.  The
+    binding can be changed at runtime — this is the operation vScale uses to
+    migrate I/O interrupts off a frozen vCPU, and it costs a hypercall
+    (~1 µs, Table 3 row "migrate device interrupts").
+    """
+
+    def __init__(self, domain: "Domain", name: str, bound_vcpu: int = 0):
+        self.domain = domain
+        self.name = name
+        self.bound_vcpu = bound_vcpu
+        #: Optional guest handler, invoked with the IRQ payload on delivery.
+        self.handler: Callable[[object], None] | None = None
+
+    def post(self, payload: object = None) -> None:
+        """Raise the event towards the currently bound vCPU."""
+        machine = self.domain.machine
+        irq = IRQ(
+            irq_class=IRQClass.EVTCHN,
+            post_time=machine.sim.now,
+            payload=payload,
+            channel=self,
+        )
+        machine.post_irq(self.domain.vcpus[self.bound_vcpu], irq)
+
+    def rebind(self, vcpu_index: int) -> None:
+        """Re-bind the channel to another vCPU (a cheap hypercall in Xen)."""
+        if not 0 <= vcpu_index < len(self.domain.vcpus):
+            raise ValueError(f"no vCPU {vcpu_index} in {self.domain.name}")
+        self.bound_vcpu = vcpu_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventChannel {self.domain.name}/{self.name} -> vCPU{self.bound_vcpu}>"

@@ -1,0 +1,113 @@
+"""ASCII chart rendering for benchmark output.
+
+The figure benchmarks print the paper's series as rows; these helpers add
+terminal-friendly visual shapes — horizontal bar charts for the normalized
+execution-time figures, and step plots for CDFs and traces — so a reader
+can eyeball the reproduction against the paper's plots without leaving the
+terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: Glyph used for bar fills.
+_BAR = "#"
+
+
+def hbar_chart(
+    title: str,
+    rows: Sequence[tuple[str, float]],
+    width: int = 48,
+    max_value: float | None = None,
+    unit: str = "",
+) -> str:
+    """A labelled horizontal bar chart.
+
+    >>> print(hbar_chart("demo", [("a", 1.0), ("b", 0.5)], width=10))
+    demo
+    a  ########## 1.00
+    b  #####      0.50
+    """
+    if not rows:
+        raise ValueError("no rows to chart")
+    if width < 4:
+        raise ValueError("width too small")
+    peak = max_value if max_value is not None else max(v for _, v in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title]
+    for label, value in rows:
+        filled = max(0, min(width, round(value / peak * width)))
+        bar = (_BAR * filled).ljust(width)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    title: str,
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+) -> str:
+    """Plot a CDF (or any monotone series) as a dot grid.
+
+    ``points`` are (value, cumulative fraction in [0, 1]) pairs.
+    """
+    if not points:
+        raise ValueError("no points to plot")
+    if width < 8 or height < 3:
+        raise ValueError("plot area too small")
+    xs = [x for x, _ in points]
+    lo, hi = min(xs), max(xs)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, fraction in points:
+        col = min(width - 1, int((x - lo) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - fraction) * (height - 1)))
+        grid[row][col] = "*"
+    lines = [title]
+    for index, row in enumerate(grid):
+        axis = "1.0" if index == 0 else ("0.0" if index == height - 1 else "   ")
+        lines.append(f"{axis} |" + "".join(row))
+    lines.append("    +" + "-" * width)
+    left = f"{lo:.3g}"
+    right = f"{hi:.3g}"
+    gap = max(1, width - len(left) - len(right))
+    lines.append("     " + left + " " * gap + right + (f"  {x_label}" if x_label else ""))
+    return "\n".join(lines)
+
+
+def step_trace(
+    title: str,
+    points: Sequence[tuple[float, float]],
+    width: int = 64,
+    levels: Iterable[float] | None = None,
+) -> str:
+    """Render a piecewise-constant trace (e.g. Figure 8's active vCPUs).
+
+    ``points`` are (time, value) change points; each level gets one text
+    row, marked across the time span it is held.
+    """
+    if not points:
+        raise ValueError("no points to plot")
+    times = [t for t, _ in points]
+    t_lo, t_hi = min(times), max(times)
+    span = (t_hi - t_lo) or 1.0
+    values = sorted(set(levels) if levels is not None else {v for _, v in points})
+    lines = [title]
+    for level in reversed(values):
+        row = [" "] * width
+        for index, (time, value) in enumerate(points):
+            start_col = min(width - 1, int((time - t_lo) / span * (width - 1)))
+            end_time = points[index + 1][0] if index + 1 < len(points) else t_hi
+            end_col = min(width - 1, int((end_time - t_lo) / span * (width - 1)))
+            if value == level:
+                for col in range(start_col, max(start_col, end_col) + 1):
+                    row[col] = "="
+        lines.append(f"{level:>5g} |" + "".join(row))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       {t_lo:.3g}" + " " * max(1, width - 12) + f"{t_hi:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Windowed time-series collection.
+
+Experiments that plot quantities *over time* (Figure 8's active-vCPU
+trace, pool-utilization traces, per-second IPI rates) need values bucketed
+into fixed windows rather than run-level aggregates.  Two collectors:
+
+* :class:`WindowedRate` — events per window (interrupt rates, wakeups);
+* :class:`SteppedSeries` — a piecewise-constant value sampled at change
+  points (online vCPU count, queue depth), integrable for time-averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class WindowedRate:
+    """Counts events into fixed-size time windows."""
+
+    def __init__(self, window_ns: int, start_ns: int = 0):
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        self.window_ns = window_ns
+        self.start_ns = start_ns
+        self._buckets: dict[int, int] = {}
+
+    def record(self, time_ns: int, n: int = 1) -> None:
+        if time_ns < self.start_ns:
+            raise ValueError("event before series start")
+        index = (time_ns - self.start_ns) // self.window_ns
+        self._buckets[index] = self._buckets.get(index, 0) + n
+
+    def bucket(self, index: int) -> int:
+        return self._buckets.get(index, 0)
+
+    def series(self, until_ns: int | None = None) -> list[tuple[int, float]]:
+        """(window start ns, events per second) points, gaps included."""
+        if not self._buckets and until_ns is None:
+            return []
+        last = (
+            (until_ns - self.start_ns) // self.window_ns
+            if until_ns is not None
+            else max(self._buckets)
+        )
+        per_second = 1e9 / self.window_ns
+        return [
+            (self.start_ns + i * self.window_ns, self.bucket(i) * per_second)
+            for i in range(last + 1)
+        ]
+
+    def peak_rate(self) -> float:
+        if not self._buckets:
+            return 0.0
+        return max(self._buckets.values()) * 1e9 / self.window_ns
+
+
+@dataclass(frozen=True)
+class _Step:
+    time_ns: int
+    value: float
+
+
+class SteppedSeries:
+    """A piecewise-constant series recorded at change points."""
+
+    def __init__(self, initial: float, start_ns: int = 0):
+        self._steps: list[_Step] = [_Step(start_ns, initial)]
+
+    def record(self, time_ns: int, value: float) -> None:
+        last = self._steps[-1]
+        if time_ns < last.time_ns:
+            raise ValueError("time going backwards")
+        if value == last.value:
+            return
+        self._steps.append(_Step(time_ns, value))
+
+    def value_at(self, time_ns: int) -> float:
+        if time_ns < self._steps[0].time_ns:
+            raise ValueError("before series start")
+        current = self._steps[0].value
+        for step in self._steps:
+            if step.time_ns > time_ns:
+                break
+            current = step.value
+        return current
+
+    def time_average(self, until_ns: int) -> float:
+        """Time-weighted mean of the series over [start, until]."""
+        start = self._steps[0].time_ns
+        if until_ns <= start:
+            raise ValueError("empty averaging interval")
+        total = 0.0
+        for i, step in enumerate(self._steps):
+            if step.time_ns >= until_ns:
+                break
+            end = (
+                min(self._steps[i + 1].time_ns, until_ns)
+                if i + 1 < len(self._steps)
+                else until_ns
+            )
+            if end > step.time_ns:
+                total += step.value * (end - step.time_ns)
+        return total / (until_ns - start)
+
+    def change_points(self) -> list[tuple[int, float]]:
+        return [(s.time_ns, s.value) for s in self._steps]
+
+    def distinct_values(self) -> set[float]:
+        return {s.value for s in self._steps}

@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation kernel.
+
+The simulator drives everything else in :mod:`repro`: the hypervisor credit
+scheduler, the guest kernels, the workload models and the vScale daemon are
+all expressed as events on a single integer-nanosecond clock.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import SeedSequenceFactory
+from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "SeedSequenceFactory",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+]

@@ -1,0 +1,172 @@
+"""The discrete-event simulation engine.
+
+Design notes
+------------
+* Time is an integer nanosecond counter (see :mod:`repro.units`).  Events
+  scheduled for the same instant fire in insertion order, which makes the
+  whole stack deterministic for a fixed seed.
+* Events are cancellable.  Cancellation is lazy: the heap entry stays in the
+  queue but is skipped when popped.  This is the standard "tombstone" scheme
+  and keeps ``cancel`` O(1).
+* There is intentionally no coroutine/process layer here.  The hypervisor and
+  guest schedulers are state machines with explicit preemption bookkeeping;
+  callbacks map onto that far more directly than generator processes would.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A handle for a scheduled callback.
+
+    Application code treats this as opaque apart from :meth:`cancel` and the
+    :attr:`time` attribute.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled events pinned in the heap do
+        # not keep large object graphs (guest kernels, threads) alive.
+        self.fn = _cancelled_fn
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and not cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} seq={self.seq} {state}>"
+
+
+def _cancelled_fn(*_args: Any) -> None:  # pragma: no cover - never called
+    raise AssertionError("cancelled event fired")
+
+
+class Simulator:
+    """A single-clock discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(100, fired.append, "a")
+    >>> _ = sim.schedule(50, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    100
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}ns in the past")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        event = Event(int(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: int | None = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until`` even
+        if no event fires there, so repeated ``run(until=...)`` calls observe
+        a monotonically advancing clock.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from within an event")
+        self._running = True
+        self._stopped = False
+        try:
+            queue = self._queue
+            while queue:
+                if self._stopped:
+                    break
+                event = queue[0]
+                if event.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(queue)
+                self.now = event.time
+                event.cancelled = True  # mark as fired
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.cancelled = True
+            event.fn(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek_time(self) -> int | None:
+        """Time of the next live event, or None if the queue is empty."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None

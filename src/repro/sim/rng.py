@@ -1,0 +1,58 @@
+"""Seeded randomness plumbing.
+
+Every stochastic component (workload phase jitter, cost-model noise, arrival
+processes) draws from its own :class:`numpy.random.Generator`, derived from a
+single experiment seed through named streams.  Naming the streams — rather
+than handing out generators in creation order — means adding a new component
+does not perturb the random numbers seen by existing ones, which keeps
+recorded experiment outputs stable across refactors.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+class SeedSequenceFactory:
+    """Derive independent, named random generators from one root seed."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._issued: dict[str, np.random.Generator] = {}
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The same name always maps to the same stream within a factory, so a
+        component may re-request its generator instead of storing it.
+        """
+        generator = self._issued.get(name)
+        if generator is None:
+            # Hash the name into a stable 32-bit spawn key.  zlib.crc32 is
+            # deterministic across processes (unlike hash()).
+            key = zlib.crc32(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(key,))
+            generator = np.random.Generator(np.random.PCG64(seq))
+            self._issued[name] = generator
+        return generator
+
+    def spawn(self, name: str) -> "SeedSequenceFactory":
+        """Create a child factory with an independent root, for sub-systems."""
+        key = zlib.crc32(name.encode("utf-8"))
+        return SeedSequenceFactory((self.seed * 1_000_003 + key) % 2**63)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeedSequenceFactory(seed={self.seed})"
+
+
+def jittered(rng: np.random.Generator, mean_ns: int, rel_sigma: float = 0.05) -> int:
+    """Sample a cost around ``mean_ns`` with relative gaussian jitter.
+
+    Used by the cost models (channel reads, balancer steps) so that repeated
+    "measurements" show realistic spread instead of a single repeated value.
+    The result is clamped to at least 1ns so durations stay positive.
+    """
+    value = rng.normal(mean_ns, mean_ns * rel_sigma)
+    return max(1, round(value))

@@ -1,0 +1,51 @@
+"""Workload models: the applications the paper evaluates.
+
+Each workload is a set of thread behaviours (generators over the action DSL
+in :mod:`repro.guest.actions`) plus a harness that tracks completion and
+collects application-level metrics:
+
+* :mod:`repro.workloads.openmp` — the GCC-OpenMP runtime model
+  (GOMP_SPINCOUNT semantics) and fork-join parallel regions;
+* :mod:`repro.workloads.npb` — profiles of the 10 NAS Parallel Benchmarks;
+* :mod:`repro.workloads.parsec` — profiles of the 13 PARSEC applications;
+* :mod:`repro.workloads.apache` — the Apache/httperf open-loop web serving
+  experiment;
+* :mod:`repro.workloads.desktop` — the "photo-slideshow" interactive
+  background VMs that generate fluctuating load;
+* :mod:`repro.workloads.kernel_build` — the parallel-compile workload used
+  for the interrupt-quiescence experiment (Table 2).
+"""
+
+from repro.workloads.base import AppHarness, phase_compute
+from repro.workloads.openmp import OpenMPRuntime, spincount_to_budget_ns
+from repro.workloads.npb import NPB_PROFILES, NPBApp, NPBProfile
+from repro.workloads.parsec import PARSEC_PROFILES, ParsecApp, ParsecProfile
+from repro.workloads.apache import ApacheServer, ApacheConfig, HttperfClient, HttperfResult
+from repro.workloads.desktop import PhotoSlideshow
+from repro.workloads.kernel_build import KernelBuild
+from repro.workloads.synthetic import ForkJoinSpec, LoadMix, cpu_hog, fork_join, on_off, poisson_worker
+
+__all__ = [
+    "AppHarness",
+    "phase_compute",
+    "OpenMPRuntime",
+    "spincount_to_budget_ns",
+    "NPB_PROFILES",
+    "NPBApp",
+    "NPBProfile",
+    "PARSEC_PROFILES",
+    "ParsecApp",
+    "ParsecProfile",
+    "ApacheServer",
+    "ApacheConfig",
+    "HttperfClient",
+    "HttperfResult",
+    "PhotoSlideshow",
+    "KernelBuild",
+    "ForkJoinSpec",
+    "LoadMix",
+    "cpu_hog",
+    "fork_join",
+    "on_off",
+    "poisson_worker",
+]

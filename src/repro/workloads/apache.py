@@ -1,0 +1,238 @@
+"""The Apache web server + httperf experiment (Figure 14).
+
+The paper serves a 16 KB file over a 1 GbE link from a 4-vCPU VM and drives
+it with httperf at constant request rates.  Performance hinges on three
+latencies, all shaped by vCPU scheduling:
+
+* **connection time** — a SYN's event-channel interrupt must reach a
+  *running* vCPU before the handshake completes;
+* **response time** — the worker handling the request must be woken
+  (reschedule IPI) and scheduled;
+* **reply rate** — wasted spinning on the socket/accept lock plus delayed
+  interrupts collapse throughput once the request rate passes what the
+  delayed VM can absorb.
+
+The model: an open-loop client posts per-request events to a NIC event
+channel; the in-guest handler accepts into a bounded backlog (drops beyond
+it) and wakes idle workers; workers dequeue under a kernel spin lock (the
+LHP hot spot), do the request compute, and push the reply through a shared
+1 Gbps link with per-reply serialization delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.guest.actions import BlockOn, WaitQueue
+from repro.guest.sync import KernelSpinLock
+from repro.metrics.collectors import Counter, LatencyReservoir
+from repro.units import US
+from repro.workloads.base import phase_compute
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+
+
+@dataclass
+class Request:
+    """One HTTP request's lifecycle timestamps (ns)."""
+
+    sent_at: int
+    accepted_at: int | None = None
+    replied_at: int | None = None
+
+
+@dataclass
+class ApacheConfig:
+    """Server and link parameters."""
+
+    workers: int = 16
+    #: Listen backlog; SYNs beyond it are dropped (no reply).
+    backlog: int = 128
+    #: Mean CPU to serve one request: softirq RX + TCP/socket work + httpd
+    #: parse + sendfile of the 16 KB body.
+    service_ns: int = 300 * US
+    #: Service-time coefficient of variation.
+    service_cv: float = 0.25
+    #: Accept/socket critical section length (kernel spin lock hold) —
+    #: where lock-holder preemption bites and pv-spinlock helps.
+    sock_lock_ns: int = 15 * US
+    #: Reply serialization time on the wire: 16 KB at 1 Gbps.
+    reply_wire_ns: int = 131 * US
+    #: One-way network latency between client and server.
+    rtt_ns: int = 200 * US
+
+
+@dataclass
+class HttperfResult:
+    """What the client measures over one run (Figure 14's three panels)."""
+
+    request_rate: float
+    duration_ns: int
+    sent: int = 0
+    replies: int = 0
+    drops: int = 0
+    connection_time = None
+    response_time = None
+    #: Wall-clock window over which the replies actually arrived; when the
+    #: wire (or a backlog drain) stretches past the offered-load window,
+    #: the rate is computed over this instead, as a real client would.
+    effective_window_ns: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def reply_rate(self) -> float:
+        window = max(self.duration_ns, self.effective_window_ns)
+        return self.replies * 1e9 / window
+
+
+class ApacheServer:
+    """The in-guest server: NIC handler + worker pool."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        config: ApacheConfig | None = None,
+        rng: np.random.Generator | None = None,
+        kernel_lock: KernelSpinLock | None = None,
+    ):
+        self.kernel = kernel
+        self.config = config or ApacheConfig()
+        self.rng = rng if rng is not None else kernel.machine.seeds.generator(
+            f"apache.{kernel.domain.name}"
+        )
+        self.sock_lock = kernel_lock or KernelSpinLock(kernel, "apache.socklock")
+        self.channel = kernel.domain.new_event_channel("nic-rx", bound_vcpu=0)
+        self.channel.handler = self._rx_irq
+        self.accept_queue: list[Request] = []
+        self.idle_workers = WaitQueue("apache.idle")
+        self.idle_workers.kernel = kernel
+        #: The shared outbound link: time it is next free.
+        self._link_free_at = 0
+        self.drops = Counter()
+        self.accepted = Counter()
+        self.connection_time = LatencyReservoir()
+        self.response_time = LatencyReservoir()
+        self.replies = Counter()
+        self.last_reply_at = 0
+        self._stopping = False
+        for w in range(self.config.workers):
+            self._spawn_worker(w)
+
+    def _spawn_worker(self, index: int) -> None:
+        placeholder: list = []
+
+        def deferred():
+            yield from placeholder[0]
+
+        thread = self.kernel.spawn(deferred(), name=f"httpd.w{index}")
+        placeholder.append(self._worker(thread))
+
+    # ------------------------------------------------------------------
+    # NIC receive path (runs in event-channel IRQ context)
+    # ------------------------------------------------------------------
+    def _rx_irq(self, payload: object) -> None:
+        request: Request = payload  # type: ignore[assignment]
+        now = self.kernel.sim.now
+        if len(self.accept_queue) >= self.config.backlog:
+            self.drops.inc()
+            return
+        request.accepted_at = now
+        self.accepted.inc()
+        # SYN->SYN/ACK completes once the interrupt is handled: one-way
+        # delay out, interrupt delay (already elapsed), one-way back.
+        self.connection_time.record(now - request.sent_at + self.config.rtt_ns)
+        self.accept_queue.append(request)
+        self.idle_workers.fire_one()
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker(self, thread):
+        config = self.config
+        while True:
+            if self._stopping:
+                return
+            if not self.accept_queue:
+                yield BlockOn(self.idle_workers)
+                continue
+            # Dequeue under the socket lock: the kernel-level LHP hot spot.
+            yield from self.sock_lock.acquire(thread)
+            request = self.accept_queue.pop(0) if self.accept_queue else None
+            yield from self.sock_lock.release(thread)
+            if request is None:
+                continue
+            yield phase_compute(self.rng, config.service_ns, config.service_cv)
+            self._send_reply(request)
+
+    def _send_reply(self, request: Request) -> None:
+        now = self.kernel.sim.now
+        start = max(now, self._link_free_at)
+        done = start + self.config.reply_wire_ns
+        self._link_free_at = done
+        request.replied_at = done
+        # The reply only counts once its last byte leaves the wire.
+        self.kernel.sim.schedule(done - now, self._reply_delivered, request)
+
+    def _reply_delivered(self, request: Request) -> None:
+        self.replies.inc()
+        assert request.replied_at is not None
+        self.last_reply_at = request.replied_at
+        self.response_time.record(
+            request.replied_at - request.sent_at + self.config.rtt_ns // 2
+        )
+
+    def stop(self) -> None:
+        """Stop workers at their next dequeue attempt (end of a run)."""
+        self._stopping = True
+        while self.idle_workers.fire_one() is not None:
+            pass
+
+
+class HttperfClient:
+    """An open-loop constant-rate client (httperf --rate)."""
+
+    def __init__(self, server: ApacheServer, rng: np.random.Generator | None = None):
+        self.server = server
+        self.sim = server.kernel.sim
+        self.rng = rng if rng is not None else server.kernel.machine.seeds.generator(
+            "httperf"
+        )
+        self._result: HttperfResult | None = None
+
+    def start(self, rate_per_s: float, duration_ns: int) -> HttperfResult:
+        """Schedule the whole arrival process; read results after running."""
+        if rate_per_s <= 0:
+            raise ValueError("request rate must be positive")
+        result = HttperfResult(request_rate=rate_per_s, duration_ns=duration_ns)
+        self._result = result
+        self._window_start = self.sim.now
+        interval = 1e9 / rate_per_s
+        t = 0.0
+        while t < duration_ns:
+            self.sim.schedule(round(t) + self.server.config.rtt_ns // 2, self._send)
+            result.sent += 1
+            t += interval
+        return result
+
+    def _send(self) -> None:
+        request = Request(sent_at=self.sim.now - self.server.config.rtt_ns // 2)
+        self.server.channel.post(request)
+
+    def collect(self) -> HttperfResult:
+        """Finalize measurements after the simulation ran the duration."""
+        result = self._result
+        if result is None:
+            raise RuntimeError("start() was never called")
+        server = self.server
+        result.replies = server.replies.value
+        result.drops = server.drops.value
+        result.connection_time = server.connection_time
+        result.response_time = server.response_time
+        result.effective_window_ns = max(
+            result.duration_ns, server.last_reply_at - self._window_start
+        )
+        return result

@@ -1,0 +1,86 @@
+"""Common workload scaffolding: completion tracking and phase helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+import numpy as np
+
+from repro.guest.actions import Compute
+from repro.guest.threads import Thread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+
+
+class AppHarness:
+    """Launches a multithreaded application and tracks its makespan.
+
+    Thread behaviours are produced by factories so the harness can stamp
+    each with the thread's rank.  The application is *done* when every
+    launched thread has exited; :attr:`duration_ns` is then the makespan.
+    """
+
+    def __init__(self, kernel: "GuestKernel", name: str):
+        self.kernel = kernel
+        self.name = name
+        self.threads: list[Thread] = []
+        self.started_at: int | None = None
+        self.finished_at: int | None = None
+        self._remaining = 0
+        kernel.exit_listeners.append(self._on_exit)
+
+    def launch(self, factories: list[Callable[[Thread], object]]) -> list[Thread]:
+        """Spawn one thread per factory.
+
+        Each factory is called with the just-created ``Thread`` and must
+        return its behaviour generator.  (The two-step dance lets
+        behaviours reference their own thread for lock ownership.)
+        """
+        if self.threads:
+            raise RuntimeError(f"app {self.name} already launched")
+        self.started_at = self.kernel.sim.now
+        for rank, factory in enumerate(factories):
+            placeholder: list = []
+
+            def deferred(placeholder=placeholder):
+                # The generator body runs lazily, after spawn() assigned
+                # the thread; yield from the factory-produced behaviour.
+                yield from placeholder[0]
+
+            thread = self.kernel.spawn(deferred(), name=f"{self.name}.t{rank}")
+            placeholder.append(factory(thread))
+            self.threads.append(thread)
+        self._remaining = len(self.threads)
+        return self.threads
+
+    def _on_exit(self, thread: Thread) -> None:
+        if thread in self.threads and self.finished_at is None:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.finished_at = self.kernel.sim.now
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def duration_ns(self) -> int:
+        if self.started_at is None or self.finished_at is None:
+            raise RuntimeError(f"app {self.name} has not finished")
+        return self.finished_at - self.started_at
+
+
+def phase_compute(
+    rng: np.random.Generator, mean_ns: int, imbalance: float
+) -> Compute:
+    """A compute phase with multiplicative imbalance across threads.
+
+    ``imbalance`` is the coefficient of variation of the phase length: the
+    straggler effect that makes barrier-based programs sensitive to
+    scheduling delays grows with it.
+    """
+    if imbalance <= 0:
+        return Compute(mean_ns)
+    sample = rng.normal(mean_ns, mean_ns * imbalance)
+    return Compute(max(1000, round(sample)))

@@ -1,0 +1,134 @@
+"""Interactive "virtual desktop" background VMs.
+
+The paper's experimental trick for generating *fluctuating* co-located
+load: each background VM runs a photo-slideshow that periodically opens a
+large (2802x1849) JPEG — a few hundred milliseconds of full-core decode,
+then idle viewing time.  The spiky consumption constantly changes the
+worker VM's CPU extendability, which is exactly the condition vScale is
+designed for.
+
+The model: a decode thread that sleeps for a think interval and then burns
+a decode burst, plus a lighter render thread woken per slide (so the VM
+exercises both of its vCPUs, as a desktop with a compositor would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.guest.actions import BlockOn, Compute, SpinFlag, WaitQueue
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+
+
+@dataclass
+class SlideshowConfig:
+    """Timing parameters of the slideshow."""
+
+    #: Mean think time between opening two images.
+    interval_ns: int = 1200 * MS
+    #: Jitter (uniform +-) on the interval so VMs do not synchronize.
+    interval_jitter_ns: int = 600 * MS
+    #: Mean decode burst (full-core; a 2802x1849 JPEG decode + scale).
+    decode_ns: int = 2800 * MS
+    #: Decode burst jitter (+- uniform).
+    decode_jitter_ns: int = 1000 * MS
+    #: Render/composite burst on the second thread, concurrent with the
+    #: decode (progressive rendering), per slide.
+    render_ns: int = 2600 * MS
+    #: Compositor/UI tick period (60 Hz) — interactive desktops wake
+    #: constantly even between slides, and each wake BOOST-preempts the
+    #: vCPU's home pCPU.  These short asymmetric interruptions are the
+    #: "abrupt delays" of the paper's Figure 1.
+    ui_tick_ns: int = 16_700_000
+    #: CPU burned per UI tick (compositing, cursor, timers).
+    ui_work_ns: int = 3 * MS
+
+
+class PhotoSlideshow:
+    """Install the slideshow workload on a (typically 2-vCPU) guest."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        rng: np.random.Generator,
+        config: SlideshowConfig | None = None,
+    ):
+        self.kernel = kernel
+        self.rng = rng
+        self.config = config or SlideshowConfig()
+        self.slides_shown = 0
+        self._render_queue = WaitQueue("slideshow.render")
+        self._render_queue.kernel = kernel
+        self._render_pending = 0
+
+    def install(self) -> None:
+        kernel = self.kernel
+        placeholder_d: list = []
+        placeholder_r: list = []
+        placeholder_u: list = []
+
+        def deferred(placeholder):
+            def gen():
+                yield from placeholder[0]
+
+            return gen()
+
+        decode_thread = kernel.spawn(deferred(placeholder_d), name="slideshow.decode")
+        placeholder_d.append(self._decoder(decode_thread))
+        render_thread = kernel.spawn(deferred(placeholder_r), name="slideshow.render")
+        placeholder_r.append(self._renderer(render_thread))
+        ui_thread = kernel.spawn(deferred(placeholder_u), name="slideshow.ui")
+        placeholder_u.append(self._ui_loop(ui_thread))
+
+    def _ui_loop(self, thread):
+        """The 60 Hz compositor tick: short, constant, BOOST-triggering."""
+        config = self.config
+        kernel = self.kernel
+        tick_index = 0
+        while True:
+            jitter = int(self.rng.uniform(-config.ui_tick_ns // 4, config.ui_tick_ns // 4))
+            timer = SpinFlag(f"ui.t{tick_index}")
+            kernel.start_timer(max(1, config.ui_tick_ns + jitter), timer)
+            yield BlockOn(timer)
+            yield Compute(max(100_000, int(self.rng.normal(config.ui_work_ns, config.ui_work_ns * 0.3))))
+            tick_index += 1
+
+    def _decoder(self, thread):
+        config = self.config
+        kernel = self.kernel
+        # Random initial phase so co-located desktops are staggered.
+        initial = int(self.rng.uniform(0, config.interval_ns))
+        timer = SpinFlag("slideshow.phase0")
+        kernel.start_timer(max(1, initial), timer)
+        yield BlockOn(timer)
+        while True:
+            decode = config.decode_ns + int(
+                self.rng.uniform(-config.decode_jitter_ns, config.decode_jitter_ns)
+            )
+            # The compositor renders progressively while the decode runs, so
+            # a slide change keeps both of the desktop's vCPUs busy.
+            self.slides_shown += 1
+            self._render_pending += 1
+            self._render_queue.fire_one()
+            yield Compute(max(1 * MS, decode))
+            think = config.interval_ns + int(
+                self.rng.uniform(-config.interval_jitter_ns, config.interval_jitter_ns)
+            )
+            timer = SpinFlag(f"slideshow.s{self.slides_shown}")
+            kernel.start_timer(max(1 * MS, think), timer)
+            yield BlockOn(timer)
+
+    def _renderer(self, thread):
+        config = self.config
+        while True:
+            if self._render_pending == 0:
+                yield BlockOn(self._render_queue)
+                continue
+            self._render_pending -= 1
+            yield Compute(config.render_ns)

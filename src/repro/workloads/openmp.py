@@ -1,0 +1,126 @@
+"""The GCC-OpenMP runtime model: GOMP_SPINCOUNT and fork-join regions.
+
+GCC's libgomp decides how a thread waits at synchronization points through
+``OMP_WAIT_POLICY`` / ``GOMP_SPINCOUNT``:
+
+* ``ACTIVE``   -> spin count 30 billion (spin effectively forever);
+* unset        -> spin count 300 000 (hybrid: spin briefly, then futex);
+* ``PASSIVE``  -> spin count 0 (block immediately, wake via futex/IPI).
+
+Each spin iteration is a load + compare + ``cpu_relax()``; we charge
+:data:`SPIN_ITER_NS` per iteration when converting a count to an on-CPU
+spin budget.  The runtime launches one worker per *online* vCPU (libgomp
+reads ``cpu_online_mask`` at startup), runs a sequence of work-shared
+phases separated by team barriers, and joins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TYPE_CHECKING
+
+import numpy as np
+
+from repro.guest.sync import KernelSpinLock, OpenMPBarrier
+from repro.guest.threads import Thread
+from repro.workloads.base import AppHarness, phase_compute
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+
+#: Cost of one spin-loop iteration (load + test + cpu_relax), nanoseconds.
+SPIN_ITER_NS = 1.0
+
+#: The three GOMP_SPINCOUNT values the paper evaluates.
+SPINCOUNT_ACTIVE = 30_000_000_000
+SPINCOUNT_DEFAULT = 300_000
+SPINCOUNT_PASSIVE = 0
+
+#: Cap so "30 billion" becomes "longer than any run" without overflowing
+#: schedules (1000 s of on-CPU spinning).
+_MAX_BUDGET_NS = 10**12
+
+
+def spincount_to_budget_ns(spincount: int) -> int:
+    """Convert a GOMP_SPINCOUNT to an on-CPU spin budget in nanoseconds."""
+    if spincount < 0:
+        raise ValueError("spin count cannot be negative")
+    return min(_MAX_BUDGET_NS, round(spincount * SPIN_ITER_NS))
+
+
+class OpenMPRuntime:
+    """A libgomp-like runtime bound to one guest kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The hosting guest kernel.
+    spincount:
+        GOMP_SPINCOUNT; see module docstring.
+    rng:
+        Source of phase-imbalance randomness.
+    kernel_lock:
+        Optional shared futex-bucket lock, exercised by the blocking
+        fallback path (this is where pv-spinlocks matter).
+    """
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        spincount: int,
+        rng: np.random.Generator,
+        kernel_lock: KernelSpinLock | None = None,
+        team_size: int | None = None,
+    ):
+        self.kernel = kernel
+        self.spincount = spincount
+        self.spin_budget_ns = spincount_to_budget_ns(spincount)
+        self.rng = rng
+        self.kernel_lock = kernel_lock
+        #: libgomp sizes the team from cpu_online_mask at startup; an
+        #: explicit ``team_size`` models OMP_NUM_THREADS (the experiments
+        #: pin it to the provisioned vCPU count so all configurations run
+        #: the same program).
+        self.team_size = team_size if team_size is not None else kernel.online_vcpus
+        self._barrier_seq = 0
+
+    def new_barrier(self, name: str | None = None) -> OpenMPBarrier:
+        self._barrier_seq += 1
+        return OpenMPBarrier(
+            self.kernel,
+            parties=self.team_size,
+            spin_budget_ns=self.spin_budget_ns,
+            name=name or f"gomp.b{self._barrier_seq}",
+            kernel_lock=self.kernel_lock,
+        )
+
+    def parallel_region(
+        self,
+        harness: AppHarness,
+        phases: Iterable[tuple[int, float]],
+        per_thread_extra: Callable[[Thread, int, OpenMPBarrier], object] | None = None,
+    ) -> list[Thread]:
+        """Launch a fork-join region: each phase is (mean_ns, imbalance).
+
+        Every thread computes its (randomly imbalanced) share of each phase
+        and then waits on the team barrier.  ``per_thread_extra`` may inject
+        additional behaviour after each phase (e.g. lu's pipeline spin).
+        """
+        phase_list = list(phases)
+        barriers = [self.new_barrier() for _ in phase_list]
+
+        def make_factory(rank: int):
+            def factory(thread: Thread):
+                return self._worker(thread, rank, phase_list, barriers, per_thread_extra)
+
+            return factory
+
+        return harness.launch([make_factory(r) for r in range(self.team_size)])
+
+    def _worker(self, thread, rank, phase_list, barriers, per_thread_extra):
+        for index, (mean_ns, imbalance) in enumerate(phase_list):
+            yield phase_compute(self.rng, mean_ns, imbalance)
+            if per_thread_extra is not None:
+                extra = per_thread_extra(thread, index, barriers[index])
+                if extra is not None:
+                    yield from extra
+            yield from barriers[index].wait(thread)

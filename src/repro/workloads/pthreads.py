@@ -1,0 +1,104 @@
+"""Pthread-style building blocks for the PARSEC models.
+
+PARSEC applications synchronize in sleep-then-wakeup style: mutexes,
+condition variables, and structures composed from them.  This module
+provides the two composites the profiles need:
+
+* :class:`MutexCondBarrier` — the hand-rolled barrier streamcluster builds
+  above a mutex and a condition variable (every crossing costs a broadcast
+  and therefore cross-vCPU reschedule IPIs);
+* :class:`BoundedQueue` — the producer/consumer stage queue of pipeline
+  applications (dedup, ferret), with blocking put/get.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.guest.sync import CondVar, GuestMutex, KernelSpinLock, SyncGen
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+    from repro.guest.threads import Thread
+
+
+class MutexCondBarrier:
+    """pthread_barrier semantics from a mutex + condition variable."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        parties: int,
+        name: str = "mcbarrier",
+        kernel_lock: KernelSpinLock | None = None,
+    ):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.kernel = kernel
+        self.parties = parties
+        self.mutex = GuestMutex(kernel, f"{name}.m", kernel_lock=kernel_lock)
+        self.cond = CondVar(kernel, f"{name}.c")
+        self.arrived = 0
+        self.generation = 0
+
+    def wait(self, thread: "Thread") -> SyncGen:
+        yield from self.mutex.lock(thread)
+        generation = self.generation
+        self.arrived += 1
+        if self.arrived == self.parties:
+            self.arrived = 0
+            self.generation += 1
+            yield from self.cond.broadcast()
+            yield from self.mutex.unlock(thread)
+            return
+        while self.generation == generation:
+            yield from self.cond.wait(self.mutex, thread)
+        yield from self.mutex.unlock(thread)
+
+
+class BoundedQueue:
+    """A blocking bounded FIFO (pipeline stage queue)."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        capacity: int,
+        name: str = "queue",
+        kernel_lock: KernelSpinLock | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.items: list[object] = []
+        self.mutex = GuestMutex(kernel, f"{name}.m", kernel_lock=kernel_lock)
+        self.not_empty = CondVar(kernel, f"{name}.ne")
+        self.not_full = CondVar(kernel, f"{name}.nf")
+        self.closed = False
+
+    def put(self, thread: "Thread", item: object) -> SyncGen:
+        yield from self.mutex.lock(thread)
+        while len(self.items) >= self.capacity:
+            yield from self.not_full.wait(self.mutex, thread)
+        self.items.append(item)
+        yield from self.not_empty.signal()
+        yield from self.mutex.unlock(thread)
+
+    def get(self, thread: "Thread") -> SyncGen:
+        """Yields actions; the received item (or None if closed+empty) is
+        left in ``thread.send_value``-style by returning it via StopIteration
+        value — consume with ``item = yield from queue.get(thread)``."""
+        yield from self.mutex.lock(thread)
+        while not self.items and not self.closed:
+            yield from self.not_empty.wait(self.mutex, thread)
+        item = self.items.pop(0) if self.items else None
+        yield from self.not_full.signal()
+        yield from self.mutex.unlock(thread)
+        return item
+
+    def close(self, thread: "Thread") -> SyncGen:
+        """Mark end-of-stream and release all blocked consumers."""
+        yield from self.mutex.lock(thread)
+        self.closed = True
+        yield from self.not_empty.broadcast()
+        yield from self.mutex.unlock(thread)

@@ -1,0 +1,146 @@
+"""Composable synthetic workload primitives.
+
+The paper's benchmark suites are modelled in :mod:`repro.workloads.npb`
+and friends; this module exposes the underlying building blocks as a small
+library so users (and the test suite's stress scenarios) can assemble
+their own guests without touching the action DSL directly:
+
+* :func:`cpu_hog` — sustained compute (an HPC tenant);
+* :func:`on_off` — square-wave load (batch jobs, cron spikes);
+* :func:`poisson_worker` — Poisson-arriving jobs on one thread (an
+  interactive tenant);
+* :func:`fork_join` — a barrier-synchronized team over a work list;
+* :class:`LoadMix` — installs a named mixture of the above on a guest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.guest.actions import BlockOn, Compute, SpinFlag
+from repro.guest.sync import OpenMPBarrier
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+    from repro.guest.threads import Thread
+
+
+def cpu_hog(total_ns: int, chunk_ns: int = 10 * MS):
+    """Burn ``total_ns`` of CPU in chunks (preemption-friendly)."""
+    if total_ns <= 0 or chunk_ns <= 0:
+        raise ValueError("durations must be positive")
+    remaining = total_ns
+    while remaining > 0:
+        slice_ns = min(chunk_ns, remaining)
+        remaining -= slice_ns
+        yield Compute(slice_ns)
+
+
+def on_off(kernel: "GuestKernel", busy_ns: int, idle_ns: int, cycles: int | None = None):
+    """Square-wave load: ``busy_ns`` of compute, ``idle_ns`` asleep."""
+    if busy_ns <= 0 or idle_ns <= 0:
+        raise ValueError("phases must be positive")
+    count = 0
+    while cycles is None or count < cycles:
+        yield Compute(busy_ns)
+        timer = SpinFlag(f"onoff.{count}")
+        kernel.start_timer(idle_ns, timer)
+        yield BlockOn(timer)
+        count += 1
+
+
+def poisson_worker(
+    kernel: "GuestKernel",
+    rng: np.random.Generator,
+    rate_per_s: float,
+    service_ns: int,
+    jobs: int,
+):
+    """``jobs`` Poisson-arriving units of ``service_ns`` work each."""
+    if rate_per_s <= 0 or service_ns <= 0 or jobs <= 0:
+        raise ValueError("rate, service time and job count must be positive")
+    for index in range(jobs):
+        gap = rng.exponential(1e9 / rate_per_s)
+        timer = SpinFlag(f"poisson.{index}")
+        kernel.start_timer(max(1, round(gap)), timer)
+        yield BlockOn(timer)
+        yield Compute(service_ns)
+
+
+@dataclass(frozen=True)
+class ForkJoinSpec:
+    """Shape of a fork-join team built by :func:`fork_join`."""
+
+    threads: int
+    iterations: int
+    phase_ns: int
+    imbalance: float = 0.2
+    spin_budget_ns: int = 300_000
+
+
+def fork_join(kernel: "GuestKernel", rng: np.random.Generator, spec: ForkJoinSpec):
+    """Return per-rank behaviour factories for a barrier-synced team."""
+    from repro.workloads.base import phase_compute
+
+    if spec.threads < 1 or spec.iterations < 1:
+        raise ValueError("need at least one thread and one iteration")
+    barrier = OpenMPBarrier(
+        kernel, parties=spec.threads, spin_budget_ns=spec.spin_budget_ns,
+        name="synthetic.fj",
+    )
+
+    def make(rank: int):
+        def factory(thread: "Thread"):
+            def behaviour():
+                for _ in range(spec.iterations):
+                    yield phase_compute(rng, spec.phase_ns, spec.imbalance)
+                    yield from barrier.wait(thread)
+
+            return behaviour()
+
+        return factory
+
+    return [make(rank) for rank in range(spec.threads)]
+
+
+class LoadMix:
+    """Install a reproducible mixture of synthetic load on one guest."""
+
+    def __init__(self, kernel: "GuestKernel", rng: np.random.Generator):
+        self.kernel = kernel
+        self.rng = rng
+        self.installed: list[str] = []
+
+    def _spawn(self, behaviour, name: str, **kwargs) -> "Thread":
+        thread = self.kernel.spawn(behaviour, name, **kwargs)
+        self.installed.append(name)
+        return thread
+
+    def add_hogs(self, count: int, total_ns: int) -> "LoadMix":
+        for index in range(count):
+            self._spawn(cpu_hog(total_ns), f"hog{index}")
+        return self
+
+    def add_on_off(self, count: int, busy_ns: int, idle_ns: int) -> "LoadMix":
+        for index in range(count):
+            self._spawn(on_off(self.kernel, busy_ns, idle_ns), f"wave{index}")
+        return self
+
+    def add_poisson(self, rate_per_s: float, service_ns: int, jobs: int) -> "LoadMix":
+        self._spawn(
+            poisson_worker(self.kernel, self.rng, rate_per_s, service_ns, jobs),
+            "poisson",
+        )
+        return self
+
+    def add_fork_join(self, spec: ForkJoinSpec) -> "LoadMix":
+        from repro.workloads.base import AppHarness
+
+        harness = AppHarness(self.kernel, "synthetic.fj")
+        harness.launch(fork_join(self.kernel, self.rng, spec))
+        self.installed.extend(t.name for t in harness.threads)
+        return self

@@ -1,0 +1,107 @@
+"""Tests for the application-awareness interface (paper SS7 future work)."""
+
+import pytest
+
+from repro.core.advisor import AdaptiveTeam, ComputeAdvice, ComputeAdvisor
+from repro.core.daemon import VScaleDaemon
+from repro.units import MS, SEC
+from repro.workloads.base import AppHarness, phase_compute
+from tests.conftest import StackBuilder, busy
+
+
+def build_managed(pcpus=4, vcpus=4, rival_busy=True):
+    builder = StackBuilder(pcpus=pcpus)
+    worker = builder.guest("worker", vcpus=vcpus)
+    rival = builder.guest("rival", vcpus=pcpus)
+    if rival_busy:
+        for index in range(pcpus):
+            rival.spawn(busy(60 * SEC), f"r{index}")
+    builder.machine.install_vscale()
+    daemon = VScaleDaemon(worker)
+    daemon.install()
+    advisor = ComputeAdvisor(worker, daemon)
+    return builder, worker, daemon, advisor
+
+
+class TestAdvice:
+    def test_recommendation_respects_online_and_optimal(self):
+        advice = ComputeAdvice(
+            online_vcpus=4, optimal_vcpus=2, extendability_pcpus=2.0, stable=True
+        )
+        assert advice.recommended_parallelism == 2
+        advice = ComputeAdvice(
+            online_vcpus=2, optimal_vcpus=4, extendability_pcpus=4.0, stable=False
+        )
+        assert advice.recommended_parallelism == 2
+
+    def test_advice_tracks_contention(self):
+        builder, worker, daemon, advisor = build_managed()
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        advice = advisor.advice()
+        # Equal weights on 4 pCPUs with a saturated rival: ~2 pCPUs.
+        assert advice.recommended_parallelism <= 3
+        assert 1.0 <= advice.extendability_pcpus <= 3.0
+
+    def test_stability_needs_consistent_history(self):
+        builder, worker, daemon, advisor = build_managed(rival_busy=False)
+        machine = builder.start()
+        machine.run(until=1 * SEC)
+        first = advisor.advice()
+        assert not first.stable  # single observation
+        machine.run(until=machine.sim.now + 100 * MS)
+        advisor.advice()
+        machine.run(until=machine.sim.now + 100 * MS)
+        third = advisor.advice()
+        assert third.stable
+
+    def test_advice_without_vscale_extension(self):
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("vm", vcpus=2)
+        builder.start()
+        advisor = ComputeAdvisor(kernel)
+        advice = advisor.advice()
+        assert advice.online_vcpus == 2
+        assert advice.optimal_vcpus == 2
+
+
+class TestSubscription:
+    def test_callback_fires_on_reconfiguration(self):
+        builder, worker, daemon, advisor = build_managed()
+        events = []
+        advisor.subscribe(events.append)
+        for index in range(4):
+            worker.spawn(busy(30 * SEC), f"w{index}")
+        machine = builder.start()
+        machine.run(until=3 * SEC)
+        assert daemon.reconfigurations >= 1
+        assert events, "no advice callbacks delivered"
+        assert all(isinstance(e, ComputeAdvice) for e in events)
+
+
+class TestAdaptiveTeam:
+    def test_team_resizes_between_phases(self):
+        builder, worker, daemon, advisor = build_managed()
+        team = AdaptiveTeam(worker, advisor)
+        harness = AppHarness(worker, "adaptive")
+
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+
+        def phase_work(phase, rank, width):
+            def fragment():
+                # Fixed total work per phase, divided by the width used.
+                yield phase_compute(rng, 40 * MS // width, 0.1)
+
+            return fragment()
+
+        team.run_phases(harness, phase_work, phases=12)
+        machine = builder.start()
+        machine.run(until=30 * SEC)
+        assert harness.done
+        widths = [w for _, w in team.width_log]
+        assert len(widths) == 12
+        # Under a saturated rival the team should not insist on width 4.
+        assert min(widths) <= 3
+        assert all(1 <= w <= 4 for w in widths)

@@ -1,0 +1,129 @@
+"""Tests for the vScale balancer (Algorithm 2)."""
+
+import pytest
+
+from repro.core.balancer import BalancerCosts, VScaleBalancer
+from repro.hypervisor.domain import VCPUState
+from repro.units import MS, SEC
+from tests.conftest import StackBuilder, busy
+
+
+@pytest.fixture
+def running_guest():
+    builder = StackBuilder(pcpus=4)
+    kernel = builder.guest("vm", vcpus=4)
+    for index in range(4):
+        kernel.spawn(busy(10 * SEC), f"w{index}")
+    machine = builder.start()
+    machine.run(until=50 * MS)
+    return builder, kernel, machine
+
+
+class TestCosts:
+    def test_breakdown_matches_paper(self):
+        costs = BalancerCosts()
+        rows = costs.cumulative()
+        assert len(rows) == 6
+        assert rows[-1][2] == costs.total_ns
+        # Table 3: 2.10us total.
+        assert costs.total_ns == pytest.approx(2100, abs=20)
+
+    def test_cumulative_is_monotone(self):
+        rows = BalancerCosts().cumulative()
+        running = [r[2] for r in rows]
+        assert running == sorted(running)
+
+
+class TestFreeze:
+    def test_freeze_sets_mask_and_marks_hypervisor(self, running_guest):
+        _, kernel, machine = running_guest
+        balancer = VScaleBalancer(kernel)
+        report = balancer.freeze(3)
+        assert report.freeze
+        assert 3 in kernel.cpu_freeze_mask
+        vcpu = kernel.domain.vcpus[3]
+        assert vcpu.freeze_pending or vcpu.state is VCPUState.FROZEN
+        assert report.master_cost_ns == pytest.approx(2100, rel=0.25)
+
+    def test_freeze_completes_and_work_continues(self, running_guest):
+        _, kernel, machine = running_guest
+        balancer = VScaleBalancer(kernel)
+        balancer.freeze(3)
+        machine.run(until=machine.sim.now + 50 * MS)
+        assert kernel.domain.vcpus[3].state is VCPUState.FROZEN
+        # All four busy threads still make progress on 3 vCPUs.
+        start = {t.name: t.exec_ns for t in kernel.threads}
+        machine.run(until=machine.sim.now + 200 * MS)
+        for thread in kernel.threads:
+            assert thread.exec_ns > start[thread.name]
+
+    def test_freeze_vcpu0_rejected(self, running_guest):
+        _, kernel, _ = running_guest
+        balancer = VScaleBalancer(kernel)
+        with pytest.raises(ValueError):
+            balancer.freeze(0)
+
+    def test_double_freeze_rejected(self, running_guest):
+        _, kernel, machine = running_guest
+        balancer = VScaleBalancer(kernel)
+        balancer.freeze(3)
+        with pytest.raises(ValueError):
+            balancer.freeze(3)
+
+    def test_freeze_unknown_vcpu_rejected(self, running_guest):
+        _, kernel, _ = running_guest
+        balancer = VScaleBalancer(kernel)
+        with pytest.raises(ValueError):
+            balancer.freeze(7)
+
+    def test_master_cost_charged_to_vcpu0(self, running_guest):
+        _, kernel, _ = running_guest
+        before = kernel.runqueues[0].pending_overhead_ns
+        VScaleBalancer(kernel).freeze(2)
+        assert kernel.runqueues[0].pending_overhead_ns >= before + 1500
+
+
+class TestUnfreeze:
+    def test_roundtrip(self, running_guest):
+        _, kernel, machine = running_guest
+        balancer = VScaleBalancer(kernel)
+        balancer.freeze(3)
+        machine.run(until=machine.sim.now + 50 * MS)
+        balancer.unfreeze(3)
+        machine.run(until=machine.sim.now + 100 * MS)
+        assert 3 not in kernel.cpu_freeze_mask
+        assert kernel.domain.vcpus[3].state is not VCPUState.FROZEN
+        assert kernel.online_vcpus == 4
+
+    def test_unfreeze_not_frozen_rejected(self, running_guest):
+        _, kernel, _ = running_guest
+        with pytest.raises(ValueError):
+            VScaleBalancer(kernel).unfreeze(2)
+
+    def test_many_cycles_are_stable(self, running_guest):
+        """Freeze/unfreeze churn must not lose threads or corrupt state."""
+        _, kernel, machine = running_guest
+        balancer = VScaleBalancer(kernel)
+        for _ in range(20):
+            balancer.freeze(3)
+            machine.run(until=machine.sim.now + 20 * MS)
+            balancer.unfreeze(3)
+            machine.run(until=machine.sim.now + 20 * MS)
+        alive = [t for t in kernel.threads if not t.done]
+        assert len(alive) == 4
+        total_load = sum(rq.load() for rq in kernel.runqueues)
+        assert total_load == 4
+        assert balancer.freezes == 20 and balancer.unfreezes == 20
+
+
+class TestMeasurement:
+    def test_breakdown_monte_carlo(self, running_guest):
+        _, kernel, _ = running_guest
+        balancer = VScaleBalancer(kernel)
+        rows = balancer.measure_master_breakdown(2_000)
+        assert rows[-1][2] == pytest.approx(2.1, rel=0.05)  # us
+
+    def test_measure_requires_iterations(self, running_guest):
+        _, kernel, _ = running_guest
+        with pytest.raises(ValueError):
+            VScaleBalancer(kernel).measure_master_breakdown(0)

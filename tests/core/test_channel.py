@@ -1,0 +1,65 @@
+"""Tests for the vScale channel."""
+
+import pytest
+
+from repro.core.channel import ChannelCosts, VScaleChannel
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.config import HostConfig
+from repro.hypervisor.machine import Machine
+from repro.units import MS
+
+
+def make_channel(install_vscale=True):
+    machine = Machine(HostConfig(pcpus=2), seed=1)
+    domain = machine.create_domain("vm", vcpus=2)
+    GuestKernel(domain)
+    if install_vscale:
+        machine.install_vscale()
+    return machine, domain, VScaleChannel(domain)
+
+
+def test_read_returns_extendability_and_count():
+    machine, domain, channel = make_channel()
+    machine.start()
+    machine.run(until=50 * MS)
+    ext, n, cost = channel.read()
+    assert ext > 0
+    assert 1 <= n <= 2
+    assert cost > 0
+    assert channel.reads == 1
+
+
+def test_read_cost_near_paper_value():
+    machine, domain, channel = make_channel()
+    machine.start()
+    machine.run(until=50 * MS)
+    costs = [channel.read()[2] for _ in range(300)]
+    mean = sum(costs) / len(costs)
+    # Table 1: 0.91us total.
+    assert 800 <= mean <= 1_050
+
+
+def test_read_without_extension_raises():
+    machine, domain, channel = make_channel(install_vscale=False)
+    machine.start()
+    with pytest.raises(RuntimeError):
+        channel.read()
+
+
+def test_measure_components_breakdown():
+    machine, domain, channel = make_channel()
+    stats = channel.measure_components(10_000)
+    assert stats["syscall_ns"] == pytest.approx(690, rel=0.05)
+    assert stats["hypercall_ns"] == pytest.approx(220, rel=0.05)
+    assert stats["total_ns"] == pytest.approx(910, rel=0.05)
+
+
+def test_measure_requires_iterations():
+    machine, domain, channel = make_channel()
+    with pytest.raises(ValueError):
+        channel.measure_components(0)
+
+
+def test_costs_total():
+    costs = ChannelCosts()
+    assert costs.total_ns == costs.syscall_ns + costs.hypercall_ns

@@ -1,0 +1,77 @@
+"""Tests for the in-hypervisor VScaleExtension ticker."""
+
+import pytest
+
+from repro.units import MS, SEC
+from tests.conftest import StackBuilder, busy
+
+
+def build(pcpus=2):
+    builder = StackBuilder(pcpus=pcpus)
+    worker = builder.guest("worker", vcpus=2)
+    rival = builder.guest("rival", vcpus=2)
+    extension = builder.machine.install_vscale()
+    return builder, worker, rival, extension
+
+
+def test_install_is_idempotent():
+    builder, *_ = build()
+    first = builder.machine.vscale
+    assert builder.machine.install_vscale() is first
+
+
+def test_ticker_publishes_every_period():
+    builder, worker, rival, extension = build()
+    machine = builder.start()
+    machine.run(until=100 * MS)
+    assert worker.domain.extendability_ns is not None
+    assert worker.domain.optimal_vcpus is not None
+    assert extension.last_results
+
+
+def test_up_vm_skipped_but_participates():
+    builder = StackBuilder(pcpus=2)
+    smp = builder.guest("smp", vcpus=2)
+    up = builder.guest("up", vcpus=1)
+    for index in range(2):
+        smp.spawn(busy(10 * SEC), f"s{index}")
+    up.spawn(busy(10 * SEC), "u0")
+    extension = builder.machine.install_vscale()
+    machine = builder.start()
+    machine.run(until=500 * MS)
+    # The UP VM's struct is never written (no room to scale)...
+    assert up.domain.extendability_ns is None
+    # ...but it is present in the calculation as a competitor.
+    assert extension.last_results["up"].is_competitor
+
+
+def test_read_before_first_tick_reports_full_optimism():
+    builder, worker, rival, extension = build()
+    machine = builder.machine
+    machine.start()
+    ext, n = machine.hyp_read_extendability(worker.domain)
+    assert ext == machine.config.pcpus * machine.config.vscale_period_ns
+    assert n == 2  # min(provisioned, pcpus)
+
+
+def test_consumption_smoothing_converges():
+    builder, worker, rival, extension = build()
+    for index in range(2):
+        worker.spawn(busy(30 * SEC), f"w{index}")
+        rival.spawn(busy(30 * SEC), f"r{index}")
+    machine = builder.start()
+    machine.run(until=2 * SEC)
+    # Two equal saturated VMs on 2 pCPUs: extendability ~1 pCPU each.
+    period = machine.config.vscale_period_ns
+    assert worker.domain.extendability_ns == pytest.approx(period, rel=0.15)
+    assert worker.domain.optimal_vcpus == 1
+
+
+def test_reconfiguration_bookkeeping():
+    builder, worker, rival, extension = build()
+    machine = builder.start()
+    machine.run(until=50 * MS)
+    machine.hyp_mark_freeze(worker.domain.vcpus[1])
+    assert extension.reconfigurations.get("worker") == 1
+    machine.hyp_unfreeze_vcpu(worker.domain.vcpus[1])
+    assert extension.reconfigurations.get("worker") == 2

@@ -1,0 +1,32 @@
+"""Tests for the decentralization experiment module."""
+
+import pytest
+
+from repro.experiments import decentralization
+from repro.units import SEC
+
+
+def test_requires_two_vms():
+    with pytest.raises(ValueError):
+        decentralization.run(vms=1)
+
+
+def test_small_run_reports_all_vms():
+    result = decentralization.run(vms=3, duration_ns=2 * SEC)
+    assert result.vms == 3
+    assert set(result.shares) == {"vm0", "vm1", "vm2"}
+    assert set(result.reconfigurations) == set(result.shares)
+    assert result.channel_cost_ns > 0
+    assert result.centralized_cost_ns > result.channel_cost_ns
+
+
+def test_render_contains_speedup():
+    result = decentralization.run(vms=3, duration_ns=2 * SEC)
+    text = result.render()
+    assert "decentralized" in text
+    assert "x)" in text
+
+
+def test_worst_share_error_defined():
+    result = decentralization.run(vms=3, duration_ns=2 * SEC)
+    assert 0.0 <= result.worst_share_error < 1.0

@@ -1,0 +1,110 @@
+"""Tests for the micro-benchmark experiments (Tables 1-3, Figures 4-5)."""
+
+import pytest
+
+from repro.experiments import fig4, fig5, table1, table2, table3
+from repro.hypervisor.dom0 import Dom0Load
+
+
+class TestTable1:
+    def test_matches_paper_values(self):
+        result = table1.run(iterations=20_000)
+        assert result.syscall_us == pytest.approx(0.69, abs=0.03)
+        assert result.hypercall_us == pytest.approx(0.22, abs=0.02)
+        assert result.total_us == pytest.approx(0.91, abs=0.04)
+
+    def test_render_contains_rows(self):
+        text = table1.run(iterations=1_000).render()
+        assert "sys_getvscaleinfo" in text
+        assert "SCHEDOP_getvscaleinfo" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(iterations=400, vm_counts=[1, 10, 50])
+
+    def test_linear_growth(self, result):
+        for load in Dom0Load:
+            series = result.points[load]
+            assert series[1]["avg_ns"] < series[10]["avg_ns"] < series[50]["avg_ns"]
+
+    def test_io_ordering(self, result):
+        assert (
+            result.avg_ms(Dom0Load.IDLE, 50)
+            < result.avg_ms(Dom0Load.DISK_IO, 50)
+            < result.avg_ms(Dom0Load.NET_IO, 50)
+        )
+
+    def test_paper_anchors(self, result):
+        # >6ms average under network I/O at 50 VMs; max in the tens of ms.
+        assert result.avg_ms(Dom0Load.NET_IO, 50) > 6.0
+        assert result.max_ms(Dom0Load.NET_IO, 50) > 12.0
+
+    def test_render(self, result):
+        assert "libxl" in result.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(seed=1)
+
+    def test_active_vcpus_tick_at_1000hz(self, result):
+        for rate in result.timer_before:
+            assert rate == pytest.approx(1000, abs=30)
+
+    def test_frozen_vcpu_receives_nothing(self, result):
+        assert result.timer_after[3] == 0
+        assert result.ipi_after[3] == 0
+
+    def test_survivors_keep_ticking(self, result):
+        for rate in result.timer_after[:3]:
+            assert rate == pytest.approx(1000, abs=30)
+
+    def test_ipis_flow_before_and_after(self, result):
+        assert sum(result.ipi_before) > 10
+        assert sum(result.ipi_after[:3]) > 10
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(iterations=40)
+
+    def test_master_cost_is_2_1_us(self, result):
+        assert result.breakdown[-1][2] == pytest.approx(2.1, abs=0.1)
+        assert result.live_master_us == pytest.approx(2.1, rel=0.1)
+
+    def test_freeze_latency_microseconds(self, result):
+        # Whole freeze (IPI + thread migration + block) stays in the
+        # microsecond range — vs. milliseconds for hotplug.
+        assert result.live_freeze_latency_us < 100
+
+    def test_render(self, result):
+        text = result.render()
+        assert "sys_freezecpu" in text
+        assert "reschedule IPI" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(cycles=100, seed=2)
+
+    def test_all_versions_present(self, result):
+        assert set(result.add) == {"v2.6.32", "v3.2.60", "v3.14.15", "v4.2"}
+
+    def test_removal_slower_than_fast_add(self, result):
+        fast_add = result.add["v3.14.15"]
+        removal = result.remove["v3.14.15"]
+        assert removal.percentile(0.5) > fast_add.percentile(0.5) * 10
+
+    def test_cdf_shapes(self, result):
+        cdf = result.cdf("v2.6.32", "remove")
+        assert len(cdf) == 100
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+
+    def test_paper_anchor_v31415_add(self, result):
+        assert 300_000 <= result.add["v3.14.15"].min() <= 600_000

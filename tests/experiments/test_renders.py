@@ -1,0 +1,91 @@
+"""Render-path tests for experiment result objects (cheap, no long runs)."""
+
+import pytest
+
+from repro.experiments.fig11_13 import ParsecCell, ParsecFigureResult
+from repro.experiments.fig14 import Fig14Result
+from repro.experiments.fig6_7 import NPBFigureResult
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.setups import Config
+from repro.experiments.npb_common import NPBCell
+from repro.workloads.apache import HttperfResult
+from repro.workloads.openmp import SPINCOUNT_ACTIVE
+
+
+def make_npb_cell(app, config, duration):
+    return NPBCell(
+        app=app,
+        vcpus=4,
+        spincount=SPINCOUNT_ACTIVE,
+        config=config,
+        duration_ns=duration,
+        wait_ns=duration // 10,
+        cpu_used_ns=duration * 2,
+        ipi_rate_per_vcpu=42.0,
+        vcpu_trace=[],
+    )
+
+
+class TestNPBFigureResult:
+    def test_normalized_and_render(self):
+        result = NPBFigureResult(vcpus=4)
+        result.cells[("cg", SPINCOUNT_ACTIVE, Config.VANILLA)] = make_npb_cell(
+            "cg", Config.VANILLA, 2_000_000_000
+        )
+        result.cells[("cg", SPINCOUNT_ACTIVE, Config.VSCALE)] = make_npb_cell(
+            "cg", Config.VSCALE, 1_000_000_000
+        )
+        assert result.normalized("cg", SPINCOUNT_ACTIVE, Config.VSCALE) == 0.5
+        text = result.render()
+        assert "cg" in text and "0.500" in text
+
+
+class TestFig8Result:
+    def test_levels_and_render(self):
+        result = Fig8Result(vcpus=4, trace=[(0, 4), (10**9, 2)], duration_ns=2 * 10**9)
+        assert result.levels() == {2, 4}
+        assert "bt in a 4-vCPU VM" in result.render()
+
+
+class TestFig9Result:
+    def test_reduction_math(self):
+        result = Fig9Result()
+        result.plain["cg"] = (10 * 10**9, 1 * 10**9)
+        assert result.reduction("cg") == pytest.approx(0.9)
+        result.plain["zero"] = (0, 0)
+        assert result.reduction("zero") == 0.0
+        assert "cg" in result.render()
+
+
+class TestParsecFigureResult:
+    def test_ipi_rate_and_render(self):
+        result = ParsecFigureResult(vcpus=4)
+        result.cells[("dedup", Config.VANILLA)] = ParsecCell(
+            "dedup", Config.VANILLA, 2 * 10**9, 900.0
+        )
+        result.cells[("dedup", Config.VSCALE)] = ParsecCell(
+            "dedup", Config.VSCALE, 10**9, 300.0
+        )
+        assert result.ipi_rate("dedup") == 900.0
+        assert result.normalized("dedup", Config.VSCALE) == 0.5
+        assert "dedup" in result.render()
+
+
+class TestFig14Result:
+    def test_peak_and_render(self):
+        result = Fig14Result()
+        for rate, replies in ((1000, 1000), (5000, 4500)):
+            hr = HttperfResult(request_rate=rate, duration_ns=10**9)
+            hr.replies = replies
+            from repro.metrics.collectors import LatencyReservoir
+
+            hr.connection_time = LatencyReservoir()
+            hr.connection_time.record(1_000_000)
+            hr.response_time = LatencyReservoir()
+            hr.response_time.record(2_000_000)
+            result.points[(Config.VANILLA, rate)] = hr
+        assert result.peak_reply_rate(Config.VANILLA) == 4500
+        assert result.reply_rate(Config.VANILLA, 1000) == 1000
+        assert result.mean_connection_ms(Config.VANILLA, 1000) == pytest.approx(1.0)
+        assert "Apache" in result.render()

@@ -1,0 +1,64 @@
+"""Tests for the JSON results persistence layer."""
+
+import json
+
+import pytest
+
+from repro.experiments import results, table1
+from repro.experiments.setups import Config
+from repro.metrics.collectors import LatencyReservoir
+
+
+def test_dataclass_round_trips():
+    result = table1.run(iterations=1_000)
+    payload = results.to_dict(result, experiment="table1")
+    assert payload["experiment"] == "table1"
+    assert payload["total_us"] == pytest.approx(0.91, abs=0.05)
+    json.dumps(payload)  # serializable
+
+
+def test_reservoir_summarized():
+    reservoir = LatencyReservoir()
+    for value in (10, 20, 30):
+        reservoir.record(value)
+    encoded = results._encode(reservoir)
+    assert encoded["count"] == 3
+    assert encoded["min_ns"] == 10
+    assert encoded["max_ns"] == 30
+
+
+def test_empty_reservoir():
+    assert results._encode(LatencyReservoir()) == {"count": 0}
+
+
+def test_tuple_keys_flattened():
+    payload = results._encode({("cg", Config.VSCALE): 1.0})
+    assert payload == {"cg|vScale": 1.0}
+
+
+def test_enum_values_encoded():
+    assert results._encode(Config.VANILLA) == "Xen/Linux"
+
+
+def test_save_writes_json(tmp_path):
+    result = table1.run(iterations=500)
+    target = tmp_path / "t1.json"
+    results.save(result, target, experiment="table1")
+    loaded = json.loads(target.read_text())
+    assert loaded["experiment"] == "table1"
+    assert loaded["iterations"] == 500
+
+
+def test_non_dataclass_objects_use_public_attrs():
+    class Plain:
+        def __init__(self):
+            self.value = 7
+            self._hidden = 8
+
+        def method(self):
+            return None
+
+    payload = results.to_dict(Plain())
+    assert payload["value"] == 7
+    assert "_hidden" not in payload
+    assert "method" not in payload

@@ -1,0 +1,50 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+def test_list_mode(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_no_experiments_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_bad_scale_errors():
+    with pytest.raises(SystemExit):
+        main(["table1", "--scale", "0"])
+
+
+def test_runs_and_writes_output(tmp_path, capsys):
+    assert main(["table1", "--scale", "0.01", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "sys_getvscaleinfo" in out
+    written = (tmp_path / "table1.txt").read_text()
+    assert "sys_getvscaleinfo" in written
+
+
+def test_fig5_via_runner(capsys):
+    assert main(["fig5", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "v3.14.15" in out
+
+
+def test_every_experiment_is_registered():
+    expected = {
+        "table1", "table2", "table3",
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "fig12", "fig14",
+    }
+    assert set(EXPERIMENTS) == expected

@@ -1,0 +1,29 @@
+"""Tests for the seed-variance analysis module."""
+
+import pytest
+
+from repro.experiments import variance
+
+
+def test_requires_multiple_seeds():
+    with pytest.raises(ValueError):
+        variance.run(seeds=(3,))
+
+
+def test_small_variance_run():
+    result = variance.run(app="ep", seeds=(3, 4), work_scale=0.2)
+    assert set(result.durations) == {3, 4}
+    assert len(result.reductions) == 2
+    assert -1.0 < result.mean_reduction < 1.0
+    assert result.spread >= 0
+    text = result.render()
+    assert "Seed variance" in text
+    assert "mean reduction" in text
+
+
+def test_always_wins_logic():
+    result = variance.VarianceResult(app="x", spincount=0, seeds=[1, 2])
+    result.durations = {1: (100, 50), 2: (100, 80)}
+    assert result.always_wins
+    result.durations[2] = (100, 120)
+    assert not result.always_wins

@@ -1,0 +1,107 @@
+"""Tests for the CPU-hotplug latency model and mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.guest.hotplug import HotplugMechanism, HotplugModel, KERNEL_VERSIONS
+from repro.hypervisor.domain import VCPUState
+from repro.units import MS, SEC, US
+from tests.conftest import StackBuilder, busy
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestLatencyModel:
+    def test_unknown_kernel_rejected(self, rng):
+        with pytest.raises(KeyError):
+            HotplugModel("v9.99", rng)
+
+    def test_removal_is_milliseconds_everywhere(self, rng):
+        for version in KERNEL_VERSIONS:
+            model = HotplugModel(version, rng)
+            samples = [model.sample_remove_ns() for _ in range(200)]
+            assert min(samples) >= 1 * MS
+            assert max(samples) >= 20 * MS  # heavy tail
+
+    def test_v31415_add_is_sub_millisecond_at_best(self, rng):
+        model = HotplugModel("v3.14.15", rng)
+        samples = [model.sample_add_ns() for _ in range(300)]
+        assert 300 * US <= min(samples) <= 600 * US
+
+    def test_other_kernels_add_in_tens_of_ms(self, rng):
+        for version in ("v2.6.32", "v3.2.60", "v4.2"):
+            model = HotplugModel(version, rng)
+            median = sorted(model.sample_add_ns() for _ in range(200))[100]
+            assert median >= 5 * MS
+
+    def test_hotplug_vs_vscale_gap(self, rng):
+        """Paper: hotplug is 100x to 100,000x slower than vScale."""
+        from repro.core.balancer import BalancerCosts
+
+        vscale_ns = BalancerCosts().total_ns
+        for version in KERNEL_VERSIONS:
+            model = HotplugModel(version, rng)
+            for _ in range(50):
+                assert model.sample_remove_ns() / vscale_ns > 100
+                assert model.sample_remove_ns() / vscale_ns < 1_000_000
+
+
+class TestMechanism:
+    def test_remove_eventually_freezes(self, rng):
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("vm", vcpus=2)
+        kernel.spawn(busy(5 * SEC), "w")
+        machine = builder.start()
+        machine.run(until=20 * MS)
+        mechanism = HotplugMechanism(kernel, HotplugModel("v3.14.15", rng))
+        latency = mechanism.remove_vcpu(1)
+        assert latency >= 1 * MS
+        machine.run(until=machine.sim.now + latency + 100 * MS)
+        assert kernel.domain.vcpus[1].state is VCPUState.FROZEN
+
+    def test_add_brings_vcpu_back(self, rng):
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("vm", vcpus=2)
+        kernel.spawn(busy(5 * SEC), "w")
+        machine = builder.start()
+        machine.run(until=20 * MS)
+        mechanism = HotplugMechanism(kernel, HotplugModel("v3.14.15", rng))
+        mechanism.remove_vcpu(1)
+        machine.run(until=machine.sim.now + 300 * MS)
+        mechanism.add_vcpu(1)
+        machine.run(until=machine.sim.now + 300 * MS)
+        assert kernel.domain.vcpus[1].state is not VCPUState.FROZEN
+        assert 1 not in kernel.cpu_freeze_mask
+
+    def test_vcpu0_cannot_be_removed(self, rng):
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("vm", vcpus=2)
+        builder.start()
+        mechanism = HotplugMechanism(kernel, HotplugModel("v4.2", rng))
+        with pytest.raises(ValueError):
+            mechanism.remove_vcpu(0)
+
+    def test_concurrent_operations_rejected(self, rng):
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("vm", vcpus=2)
+        machine = builder.start()
+        machine.run(until=10 * MS)
+        mechanism = HotplugMechanism(kernel, HotplugModel("v2.6.32", rng))
+        mechanism.remove_vcpu(1)
+        with pytest.raises(RuntimeError):
+            mechanism.remove_vcpu(1)
+
+    def test_stop_machine_stalls_whole_guest(self, rng):
+        """Removal charges a stop_machine stall to every runqueue."""
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("vm", vcpus=2)
+        kernel.spawn(busy(5 * SEC), "w", pinned_to=0)
+        machine = builder.start()
+        machine.run(until=20 * MS)
+        before = kernel.runqueues[0].pending_overhead_ns
+        mechanism = HotplugMechanism(kernel, HotplugModel("v2.6.32", rng))
+        mechanism.remove_vcpu(1)
+        assert kernel.runqueues[0].pending_overhead_ns > before

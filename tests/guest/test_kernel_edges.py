@@ -1,0 +1,106 @@
+"""Edge-case tests for guest kernel APIs: repinning, hypercall yield,
+nonpreemptible protection, and bad inputs."""
+
+import pytest
+
+from repro.guest.actions import Compute, HypercallYield
+from repro.guest.threads import ThreadState
+from repro.units import MS, SEC
+from tests.conftest import StackBuilder, busy
+
+
+class TestRepin:
+    def test_ready_thread_moves_immediately(self, single_guest):
+        builder, kernel = single_guest
+        machine = builder.start()
+        machine.run(until=5 * MS)
+        # Two threads pinned to vCPU0 so one is READY (not current).
+        threads = [kernel.spawn(busy(1 * SEC), f"t{i}", pinned_to=0) for i in range(2)]
+        machine.run(until=10 * MS)
+        ready = next(t for t in threads if t.state is ThreadState.READY)
+        assert kernel.repin_thread(ready, 1)
+        assert ready.vcpu_index == 1
+        assert ready.pinned_to == 1
+
+    def test_running_thread_deferred(self, single_guest):
+        builder, kernel = single_guest
+        thread = kernel.spawn(busy(1 * SEC), "t", pinned_to=0)
+        machine = builder.start()
+        machine.run(until=10 * MS)
+        assert thread.state is ThreadState.RUNNING
+        assert not kernel.repin_thread(thread, 1)
+        assert thread.pinned_to == 1  # honoured at the next placement
+
+    def test_invalid_index_rejected(self, single_guest):
+        builder, kernel = single_guest
+        thread = kernel.spawn(busy(MS), "t")
+        with pytest.raises(ValueError):
+            kernel.repin_thread(thread, 9)
+
+    def test_repin_to_same_vcpu_is_noop(self, single_guest):
+        builder, kernel = single_guest
+        machine = builder.start()
+        threads = [kernel.spawn(busy(1 * SEC), f"t{i}", pinned_to=0) for i in range(2)]
+        machine.run(until=10 * MS)
+        ready = next(t for t in threads if t.state is ThreadState.READY)
+        migrations = ready.migrations
+        assert kernel.repin_thread(ready, 0)
+        assert ready.migrations == migrations
+
+
+class TestHypercallYield:
+    def test_yield_gives_pcpu_to_rival(self):
+        builder = StackBuilder(pcpus=1)
+        polite = builder.guest("polite", vcpus=1)
+        rival = builder.guest("rival", vcpus=1)
+        rival.spawn(busy(10 * SEC), "hog")
+        progress = []
+
+        def yielder():
+            for _ in range(3):
+                yield Compute(1 * MS)
+                progress.append(polite.sim.now)
+                yield HypercallYield()
+
+        polite.spawn(yielder(), "nice")
+        machine = builder.start()
+        machine.run(until=1 * SEC)
+        assert len(progress) == 3
+        # Each yield surrendered the pCPU: the rival ran between chunks.
+        rival_run = rival.domain.total_run_ns(machine.sim.now)
+        assert rival_run > 500 * MS
+
+
+class TestNonpreemptibleProtection:
+    def test_rt_cannot_preempt_spinlock_section(self, single_guest):
+        from repro.guest.sync import KernelSpinLock
+
+        builder, kernel = single_guest
+        lock = KernelSpinLock(kernel)
+        order = []
+
+        def holder(thread):
+            yield from lock.acquire(thread)
+            order.append("cs-enter")
+            yield Compute(20 * MS)
+            order.append("cs-exit")
+            yield from lock.release(thread)
+
+        ph = []
+
+        def deferred():
+            yield from ph[0]
+
+        thread = kernel.spawn(deferred(), "holder", pinned_to=0)
+        ph.append(holder(thread))
+        machine = builder.start()
+        machine.run(until=5 * MS)
+
+        def rt_job():
+            order.append("rt")
+            yield Compute(1 * MS)
+
+        kernel.spawn(rt_job(), "rt", rt=True, pinned_to=0)
+        machine.run(until=100 * MS)
+        # The RT thread ran only after the critical section closed.
+        assert order == ["cs-enter", "cs-exit", "rt"]

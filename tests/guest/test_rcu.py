@@ -1,0 +1,88 @@
+"""Tests for the RCU grace-period model."""
+
+import pytest
+
+from repro.core.balancer import VScaleBalancer
+from repro.guest.rcu import RCUDomain
+from repro.units import MS, SEC
+from tests.conftest import StackBuilder, busy
+
+
+def build(nbusy=2, vcpus=2, pcpus=2):
+    builder = StackBuilder(pcpus=pcpus)
+    kernel = builder.guest("vm", vcpus=vcpus)
+    for index in range(nbusy):
+        kernel.spawn(busy(10 * SEC), f"w{index}")
+    rcu = RCUDomain(kernel)
+    machine = builder.start()
+    machine.run(until=20 * MS)
+    return builder, kernel, rcu, machine
+
+
+class TestGracePeriods:
+    def test_callback_runs_after_all_report(self):
+        builder, kernel, rcu, machine = build()
+        fired = []
+        rcu.call_rcu(lambda: fired.append(machine.sim.now))
+        queued_at = machine.sim.now
+        machine.run(until=machine.sim.now + 20 * MS)
+        assert fired, "grace period never completed"
+        # Both busy vCPUs tick at 1ms: the GP needs at most a few ticks.
+        assert fired[0] - queued_at <= 10 * MS
+        assert rcu.completed_grace_periods == 1
+
+    def test_idle_vcpus_do_not_delay_grace_periods(self):
+        """Dynticks-idle vCPUs are already quiescent."""
+        builder, kernel, rcu, machine = build(nbusy=1)  # vCPU1 idle
+        fired = []
+        rcu.call_rcu(lambda: fired.append(True))
+        state = rcu.synchronize_rcu_state()
+        assert state["waiting_on"] == [0]
+        machine.run(until=machine.sim.now + 10 * MS)
+        assert fired
+
+    def test_frozen_vcpu_does_not_block_grace_periods(self):
+        """The paper's §3.3 point: freezing needs no RCU participation."""
+        builder, kernel, rcu, machine = build(nbusy=4, vcpus=4, pcpus=4)
+        balancer = VScaleBalancer(kernel)
+        balancer.freeze(3)
+        machine.run(until=machine.sim.now + 50 * MS)
+        fired = []
+        rcu.call_rcu(lambda: fired.append(True))
+        state = rcu.synchronize_rcu_state()
+        assert 3 not in state["waiting_on"]
+        machine.run(until=machine.sim.now + 20 * MS)
+        assert fired
+        assert rcu.completed_grace_periods >= 1
+
+    def test_vcpu_that_idles_mid_period_is_released(self):
+        builder, kernel, rcu, machine = build(nbusy=2)
+        # Start a GP, then let one worker finish (its vCPU goes idle).
+        short_builder = StackBuilder(pcpus=2)
+        kernel2 = short_builder.guest("vm", vcpus=2)
+        kernel2.spawn(busy(30 * MS), "short", pinned_to=1)
+        kernel2.spawn(busy(5 * SEC), "long", pinned_to=0)
+        rcu2 = RCUDomain(kernel2)
+        machine2 = short_builder.start()
+        machine2.run(until=5 * MS)
+        fired = []
+        rcu2.call_rcu(lambda: fired.append(True))
+        assert 1 in rcu2.synchronize_rcu_state()["waiting_on"]
+        machine2.run(until=200 * MS)  # the short thread exits, vCPU1 idles
+        assert fired
+
+    def test_chained_callbacks_start_new_period(self):
+        builder, kernel, rcu, machine = build()
+        order = []
+        rcu.call_rcu(lambda: order.append("first"))
+        machine.run(until=machine.sim.now + 20 * MS)
+        rcu.call_rcu(lambda: order.append("second"))
+        machine.run(until=machine.sim.now + 20 * MS)
+        assert order == ["first", "second"]
+        assert rcu.completed_grace_periods == 2
+        numbers = [n for n, _ in rcu.latencies]
+        assert numbers == sorted(numbers)
+
+    def test_no_active_period_reports_inactive(self):
+        builder, kernel, rcu, machine = build()
+        assert rcu.synchronize_rcu_state() == {"active": False}

@@ -1,0 +1,88 @@
+"""Tests for the per-vCPU runqueue."""
+
+import pytest
+
+from repro.guest.runqueue import RunQueue
+from repro.guest.threads import Thread, ThreadKind
+
+
+class _KernelStub:
+    pass
+
+
+def make_thread(name, kind=ThreadKind.UTHREAD, rt=False, vruntime=0):
+    thread = Thread(_KernelStub(), iter(()), name, kind=kind, rt=rt)
+    thread.vruntime = vruntime
+    return thread
+
+
+def test_enqueue_sets_vcpu_index():
+    rq = RunQueue(3)
+    thread = make_thread("t")
+    rq.enqueue(thread)
+    assert thread.vcpu_index == 3
+    assert rq.load() == 1
+
+
+def test_double_enqueue_rejected():
+    rq = RunQueue(0)
+    thread = make_thread("t")
+    rq.enqueue(thread)
+    with pytest.raises(RuntimeError):
+        rq.enqueue(thread)
+
+
+def test_pick_next_min_vruntime():
+    rq = RunQueue(0)
+    high = make_thread("high", vruntime=100)
+    low = make_thread("low", vruntime=10)
+    rq.enqueue(high)
+    rq.enqueue(low)
+    assert rq.pick_next() is low
+
+
+def test_rt_beats_fair_regardless_of_vruntime():
+    rq = RunQueue(0)
+    fair = make_thread("fair", vruntime=0)
+    rt = make_thread("rt", rt=True, vruntime=10**9)
+    rq.enqueue(fair)
+    rq.enqueue(rt)
+    assert rq.pick_next() is rt
+
+
+def test_tie_breaks_by_tid():
+    rq = RunQueue(0)
+    first = make_thread("a", vruntime=5)
+    second = make_thread("b", vruntime=5)
+    rq.enqueue(second)
+    rq.enqueue(first)
+    assert rq.pick_next() is first if first.tid < second.tid else second
+
+
+def test_min_vruntime_is_monotone():
+    rq = RunQueue(0)
+    thread = make_thread("t", vruntime=50)
+    rq.enqueue(thread)
+    rq.advance_min_vruntime()
+    assert rq.min_vruntime == 50
+    rq.dequeue(thread)
+    low = make_thread("low", vruntime=10)
+    rq.enqueue(low)
+    rq.advance_min_vruntime()
+    assert rq.min_vruntime == 50  # never goes backwards
+
+
+def test_steal_candidates_exclude_pinned_rt_and_percpu():
+    rq = RunQueue(0)
+    normal = make_thread("n")
+    pinned = make_thread("p")
+    pinned.pinned_to = 0
+    rt = make_thread("r", rt=True)
+    percpu = make_thread("k", kind=ThreadKind.KTHREAD_PERCPU)
+    for t in (normal, pinned, rt, percpu):
+        rq.enqueue(t)
+    assert rq.steal_candidates() == [normal]
+
+
+def test_pick_next_empty_returns_none():
+    assert RunQueue(0).pick_next() is None

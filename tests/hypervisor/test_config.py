@@ -1,0 +1,30 @@
+"""Tests for HostConfig validation."""
+
+import pytest
+
+from repro.hypervisor.config import HostConfig
+from repro.units import MS
+
+
+def test_defaults_match_xen():
+    config = HostConfig()
+    assert config.timeslice_ns == 30 * MS
+    assert config.tick_ns == 10 * MS
+    assert config.acct_ns == 30 * MS
+    assert config.ratelimit_ns == 1 * MS
+    assert config.per_vm_weight is True
+
+
+def test_rejects_zero_pcpus():
+    with pytest.raises(ValueError):
+        HostConfig(pcpus=0)
+
+
+def test_rejects_unaligned_accounting_period():
+    with pytest.raises(ValueError):
+        HostConfig(acct_ns=25 * MS, tick_ns=10 * MS)
+
+
+def test_rejects_nonpositive_periods():
+    with pytest.raises(ValueError):
+        HostConfig(tick_ns=0, acct_ns=0)

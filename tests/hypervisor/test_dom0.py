@@ -1,0 +1,64 @@
+"""Tests for the dom0/libxl monitoring cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hypervisor.dom0 import Dom0Load, Dom0Toolstack
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_single_vm_read_is_sub_millisecond(rng):
+    toolstack = Dom0Toolstack(rng, load=Dom0Load.IDLE)
+    stats = toolstack.measure(1, iterations=500)
+    assert 300_000 <= stats["avg_ns"] <= 900_000  # ~480us + per-VM walk
+
+
+def test_cost_grows_with_vm_count(rng):
+    toolstack = Dom0Toolstack(rng, load=Dom0Load.IDLE)
+    avg = [toolstack.measure(n, 200)["avg_ns"] for n in (1, 10, 50)]
+    assert avg[0] < avg[1] < avg[2]
+
+
+def test_io_load_inflates_costs(rng):
+    idle = Dom0Toolstack(np.random.default_rng(1), Dom0Load.IDLE)
+    disk = Dom0Toolstack(np.random.default_rng(1), Dom0Load.DISK_IO)
+    net = Dom0Toolstack(np.random.default_rng(1), Dom0Load.NET_IO)
+    a = idle.measure(50, 300)["avg_ns"]
+    b = disk.measure(50, 300)["avg_ns"]
+    c = net.measure(50, 300)["avg_ns"]
+    assert a < b < c
+
+
+def test_net_io_figure4_anchors(rng):
+    """Paper: >6ms average and a max approaching 30ms at 50 VMs."""
+    toolstack = Dom0Toolstack(rng, load=Dom0Load.NET_IO)
+    stats = toolstack.measure(50, iterations=2_000)
+    assert stats["avg_ns"] > 6e6
+    assert 12e6 < stats["max_ns"] < 60e6
+
+
+def test_min_le_avg_le_max(rng):
+    toolstack = Dom0Toolstack(rng, load=Dom0Load.DISK_IO)
+    stats = toolstack.measure(20, iterations=100)
+    assert stats["min_ns"] <= stats["avg_ns"] <= stats["max_ns"]
+
+
+def test_invalid_inputs(rng):
+    toolstack = Dom0Toolstack(rng)
+    with pytest.raises(ValueError):
+        toolstack.sample_read_all_ns(0)
+    with pytest.raises(ValueError):
+        toolstack.measure(1, 0)
+
+
+def test_channel_read_beats_libxl_by_orders_of_magnitude(rng):
+    """The decentralization argument: ~1us vs 100s of us per poll."""
+    from repro.core.channel import ChannelCosts
+
+    toolstack = Dom0Toolstack(rng, load=Dom0Load.IDLE)
+    libxl_one_vm = toolstack.measure(1, 200)["avg_ns"]
+    assert libxl_one_vm / ChannelCosts().total_ns > 100

@@ -1,0 +1,111 @@
+"""Property-based tests driving both schedulers with random transition
+sequences: whatever the order of wakes, blocks, freezes, yields and time
+advances, the scheduler must keep its structural invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hypervisor.config import HostConfig
+from repro.hypervisor.domain import VCPUState
+from repro.hypervisor.machine import Machine
+from repro.units import MS
+from tests.conftest import busy
+
+
+class _PassiveGuest:
+    """A guest that never idles its vCPUs (keeps them burning CPU)."""
+
+    def __init__(self, domain):
+        domain.attach_guest(self)
+
+    def vcpu_started(self, vcpu):
+        pass
+
+    def vcpu_stopped(self, vcpu):
+        pass
+
+    def deliver_irq(self, vcpu, irq):
+        pass
+
+
+def build(scheduler: str, domains=2, vcpus=2, pcpus=2, seed=1):
+    machine = Machine(HostConfig(pcpus=pcpus, scheduler=scheduler), seed=seed)
+    for index in range(domains):
+        domain = machine.create_domain(f"d{index}", vcpus=vcpus)
+        _PassiveGuest(domain)
+    machine.start()
+    return machine
+
+
+def all_vcpus(machine):
+    return [v for d in machine.domains for v in d.vcpus]
+
+
+def check_invariants(machine):
+    # pCPU <-> vCPU agreement.
+    currents = []
+    for pcpu in machine.pool:
+        if pcpu.current is not None:
+            assert pcpu.current.state is VCPUState.RUNNING
+            assert pcpu.current.pcpu is pcpu
+            currents.append(pcpu.current)
+    assert len(currents) == len(set(currents)), "vCPU on two pCPUs"
+    for vcpu in all_vcpus(machine):
+        if vcpu.state is VCPUState.RUNNING:
+            assert vcpu in currents
+        # Time accounting closes at all times.
+        vcpu.timer.flush(machine.sim.now)
+        assert sum(vcpu.timer.totals.values()) == machine.sim.now
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["wake", "block", "mark_freeze", "unfreeze", "yield", "advance"]),
+        st.integers(min_value=0, max_value=3),  # vCPU selector
+        st.integers(min_value=1, max_value=40),  # time advance in ms
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@pytest.mark.parametrize("scheduler", ["credit", "vrt"])
+@settings(max_examples=40, deadline=None)
+@given(ops=operations, seed=st.integers(0, 100))
+def test_random_transitions_keep_invariants(scheduler, ops, seed):
+    machine = build(scheduler, seed=seed)
+    vcpus = all_vcpus(machine)
+    for op, selector, advance_ms in ops:
+        vcpu = vcpus[selector % len(vcpus)]
+        if op == "wake":
+            if vcpu.state is VCPUState.BLOCKED:
+                machine.hyp_wake(vcpu)
+        elif op == "block":
+            machine.scheduler.vcpu_block(vcpu)
+        elif op == "mark_freeze":
+            machine.hyp_mark_freeze(vcpu)
+        elif op == "unfreeze":
+            machine.hyp_unfreeze_vcpu(vcpu)
+        elif op == "yield":
+            machine.hyp_yield(vcpu)
+        elif op == "advance":
+            machine.run(until=machine.sim.now + advance_ms * MS)
+        # Drain the deferred reschedules before checking.
+        machine.run(until=machine.sim.now + 1)
+        check_invariants(machine)
+
+
+@pytest.mark.parametrize("scheduler", ["credit", "vrt"])
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_always_runnable_vcpus_never_starve(scheduler, seed):
+    """With permanently runnable vCPUs, everyone makes progress."""
+    machine = build(scheduler, domains=3, vcpus=1, pcpus=1, seed=seed)
+    for vcpu in all_vcpus(machine):
+        if vcpu.state is VCPUState.BLOCKED:
+            machine.hyp_wake(vcpu)
+    machine.run(until=600 * MS)
+    for vcpu in all_vcpus(machine):
+        vcpu.timer.flush(machine.sim.now)
+        run = vcpu.timer.total(VCPUState.RUNNING.value)
+        assert run > 50 * MS, f"{vcpu.name} starved ({run}ns)"

@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.metrics.ascii import cdf_plot, hbar_chart, step_trace
+
+
+class TestHBar:
+    def test_scales_to_peak(self):
+        text = hbar_chart("t", [("a", 1.0), ("b", 0.5)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_explicit_max_value(self):
+        text = hbar_chart("t", [("a", 1.0)], width=10, max_value=2.0)
+        assert text.splitlines()[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        text = hbar_chart("t", [("long-name", 1.0), ("x", 1.0)], width=8)
+        lines = text.splitlines()[1:]
+        positions = {line.index("#") for line in lines}
+        assert len(positions) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hbar_chart("t", [])
+        with pytest.raises(ValueError):
+            hbar_chart("t", [("a", 1.0)], width=2)
+
+    def test_zero_values_do_not_crash(self):
+        text = hbar_chart("t", [("a", 0.0), ("b", 0.0)])
+        assert "0.00" in text
+
+
+class TestCdfPlot:
+    def test_shape_and_axes(self):
+        points = [(float(v), (v + 1) / 10) for v in range(10)]
+        text = cdf_plot("latency CDF", points, width=20, height=5)
+        lines = text.splitlines()
+        assert lines[0] == "latency CDF"
+        assert "1.0" in lines[1]
+        assert "0.0" in lines[5]
+        assert text.count("*") >= 5
+
+    def test_monotone_series_fills_corners(self):
+        points = [(0.0, 0.1), (10.0, 1.0)]
+        text = cdf_plot("t", points, width=10, height=4)
+        rows = text.splitlines()[1:5]
+        assert rows[0].rstrip().endswith("*")  # fraction 1.0 at max x
+        # The low-fraction point lands in the lower half, left edge.
+        lower_half = "\n".join(rows[2:])
+        assert "*" in lower_half
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdf_plot("t", [])
+        with pytest.raises(ValueError):
+            cdf_plot("t", [(0, 0.5)], width=2)
+
+
+class TestStepTrace:
+    def test_levels_render_rows(self):
+        points = [(0.0, 4), (1.0, 2), (2.0, 4)]
+        text = step_trace("active vCPUs", points, width=30)
+        lines = text.splitlines()
+        assert lines[0] == "active vCPUs"
+        assert any(line.strip().startswith("4") for line in lines)
+        assert any(line.strip().startswith("2") for line in lines)
+        four_row = next(line for line in lines if line.strip().startswith("4"))
+        two_row = next(line for line in lines if line.strip().startswith("2"))
+        assert "=" in four_row and "=" in two_row
+
+    def test_explicit_levels(self):
+        points = [(0.0, 1)]
+        text = step_trace("t", points, levels=[1, 2, 3])
+        assert sum(1 for line in text.splitlines() if "|" in line) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_trace("t", [])

@@ -1,0 +1,100 @@
+"""Tests for windowed time-series collectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.timeseries import SteppedSeries, WindowedRate
+from repro.units import MS, SEC
+
+
+class TestWindowedRate:
+    def test_bucketing(self):
+        series = WindowedRate(window_ns=1 * SEC)
+        series.record(100 * MS)
+        series.record(900 * MS)
+        series.record(1_500 * MS, n=3)
+        assert series.bucket(0) == 2
+        assert series.bucket(1) == 3
+        assert series.bucket(2) == 0
+
+    def test_series_includes_gaps(self):
+        series = WindowedRate(window_ns=1 * SEC)
+        series.record(0)
+        series.record(2_500 * MS)
+        points = series.series()
+        assert len(points) == 3
+        assert points[1][1] == 0.0
+
+    def test_rates_are_per_second(self):
+        series = WindowedRate(window_ns=500 * MS)
+        series.record(100 * MS, n=5)
+        assert series.series()[0][1] == pytest.approx(10.0)
+
+    def test_peak_rate(self):
+        series = WindowedRate(window_ns=1 * SEC)
+        assert series.peak_rate() == 0.0
+        series.record(0, n=7)
+        assert series.peak_rate() == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedRate(0)
+        series = WindowedRate(SEC, start_ns=SEC)
+        with pytest.raises(ValueError):
+            series.record(0)
+
+
+class TestSteppedSeries:
+    def test_value_at(self):
+        series = SteppedSeries(2, start_ns=0)
+        series.record(100, 4)
+        series.record(300, 3)
+        assert series.value_at(50) == 2
+        assert series.value_at(100) == 4
+        assert series.value_at(299) == 4
+        assert series.value_at(1000) == 3
+
+    def test_duplicate_values_collapse(self):
+        series = SteppedSeries(2)
+        series.record(100, 2)
+        assert len(series.change_points()) == 1
+
+    def test_time_average(self):
+        series = SteppedSeries(2, start_ns=0)
+        series.record(500, 4)
+        # [0,500)=2, [500,1000)=4 -> mean 3.
+        assert series.time_average(1000) == pytest.approx(3.0)
+
+    def test_time_going_backwards_rejected(self):
+        series = SteppedSeries(1, start_ns=100)
+        with pytest.raises(ValueError):
+            series.record(50, 2)
+        with pytest.raises(ValueError):
+            series.value_at(50)
+        with pytest.raises(ValueError):
+            series.time_average(100)
+
+    def test_distinct_values(self):
+        series = SteppedSeries(2)
+        series.record(10, 3)
+        series.record(20, 2)
+        assert series.distinct_values() == {2, 3}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 1000), st.integers(0, 8)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_time_average_bounded_by_extremes(self, deltas):
+        """Property: the time average lies within [min, max] of values."""
+        series = SteppedSeries(4, start_ns=0)
+        now = 0
+        values = [4]
+        for delta, value in deltas:
+            now += delta
+            series.record(now, value)
+            values.append(value)
+        average = series.time_average(now + 100)
+        assert min(values) <= average <= max(values)

@@ -1,0 +1,95 @@
+"""Tests for the Apache/httperf workload model."""
+
+import pytest
+
+from repro.sim.rng import SeedSequenceFactory
+from repro.units import MS, SEC
+from repro.workloads.apache import ApacheConfig, ApacheServer, HttperfClient
+from tests.conftest import StackBuilder
+
+
+def build_server(pcpus=4, vcpus=4, config=None):
+    builder = StackBuilder(pcpus=pcpus)
+    kernel = builder.guest("web", vcpus=vcpus)
+    seeds = SeedSequenceFactory(5)
+    server = ApacheServer(kernel, config=config, rng=seeds.generator("apache"))
+    client = HttperfClient(server, rng=seeds.generator("httperf"))
+    return builder, kernel, server, client
+
+
+def test_low_rate_all_requests_served():
+    builder, kernel, server, client = build_server()
+    client.start(rate_per_s=500, duration_ns=1 * SEC)
+    machine = builder.start()
+    machine.run(until=2 * SEC)
+    result = client.collect()
+    assert result.sent == 500
+    assert result.replies == 500
+    assert result.drops == 0
+
+
+def test_latency_reservoirs_populated():
+    builder, kernel, server, client = build_server()
+    client.start(rate_per_s=300, duration_ns=1 * SEC)
+    machine = builder.start()
+    machine.run(until=2 * SEC)
+    result = client.collect()
+    assert len(result.connection_time) == 300
+    assert len(result.response_time) == 300
+    # Response includes the reply wire time, so it exceeds connection.
+    assert result.response_time.mean() > result.connection_time.mean()
+
+
+def test_reply_rate_capped_by_link():
+    """16KB at 1Gbps: no more than ~7.6K replies/s can leave the wire."""
+    builder, kernel, server, client = build_server(pcpus=8)
+    client.start(rate_per_s=12_000, duration_ns=1 * SEC)
+    machine = builder.start()
+    machine.run(until=3 * SEC)
+    result = client.collect()
+    wire_cap = 1e9 / server.config.reply_wire_ns
+    assert result.reply_rate <= wire_cap * 1.05
+
+
+def test_backlog_overflow_drops():
+    config = ApacheConfig(backlog=16, workers=2, service_ns=5 * MS)
+    builder, kernel, server, client = build_server(config=config)
+    client.start(rate_per_s=5_000, duration_ns=500 * MS)
+    machine = builder.start()
+    machine.run(until=2 * SEC)
+    result = client.collect()
+    assert result.drops > 0
+    assert result.replies + result.drops <= result.sent
+
+
+def test_requests_conserved():
+    """Every sent request is eventually replied, dropped, or in flight."""
+    builder, kernel, server, client = build_server()
+    client.start(rate_per_s=2_000, duration_ns=1 * SEC)
+    machine = builder.start()
+    machine.run(until=4 * SEC)
+    result = client.collect()
+    assert result.replies + result.drops == result.sent
+
+
+def test_collect_before_start_raises():
+    builder, kernel, server, client = build_server()
+    with pytest.raises(RuntimeError):
+        client.collect()
+
+
+def test_invalid_rate_rejected():
+    builder, kernel, server, client = build_server()
+    with pytest.raises(ValueError):
+        client.start(rate_per_s=0, duration_ns=SEC)
+
+
+def test_stop_terminates_workers():
+    builder, kernel, server, client = build_server()
+    client.start(rate_per_s=100, duration_ns=200 * MS)
+    machine = builder.start()
+    machine.run(until=1 * SEC)
+    server.stop()
+    machine.run(until=2 * SEC)
+    workers = [t for t in kernel.threads if t.name.startswith("httpd.")]
+    assert all(t.done for t in workers)

@@ -1,0 +1,214 @@
+"""Tests for the desktop, kernel-build and pthread-composite workloads."""
+
+import pytest
+
+from repro.sim.rng import SeedSequenceFactory
+from repro.units import MS, SEC
+from repro.workloads.base import AppHarness, phase_compute
+from repro.workloads.desktop import PhotoSlideshow, SlideshowConfig
+from repro.workloads.kernel_build import KernelBuild
+from repro.workloads.pthreads import BoundedQueue, MutexCondBarrier
+from tests.conftest import StackBuilder
+
+
+class TestPhaseCompute:
+    def test_zero_imbalance_is_exact(self):
+        import numpy as np
+
+        action = phase_compute(np.random.default_rng(0), 5 * MS, 0.0)
+        assert action.remaining_ns == 5 * MS
+
+    def test_imbalance_jitters_but_floors(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        samples = [phase_compute(rng, 1 * MS, 0.5).remaining_ns for _ in range(200)]
+        assert min(samples) >= 1000
+        assert max(samples) > 1 * MS
+
+
+class TestAppHarness:
+    def test_double_launch_rejected(self, single_guest):
+        builder, kernel = single_guest
+        harness = AppHarness(kernel, "app")
+        from repro.guest.actions import Compute
+
+        harness.launch([lambda t: iter([Compute(MS)])])
+        with pytest.raises(RuntimeError):
+            harness.launch([lambda t: iter([Compute(MS)])])
+
+    def test_duration_before_finish_raises(self, single_guest):
+        builder, kernel = single_guest
+        harness = AppHarness(kernel, "app")
+        with pytest.raises(RuntimeError):
+            harness.duration_ns
+
+
+class TestSlideshow:
+    def test_generates_bursty_consumption(self):
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("desktop", vcpus=2)
+        seeds = SeedSequenceFactory(3)
+        show = PhotoSlideshow(kernel, seeds.generator("ss"))
+        show.install()
+        machine = builder.start()
+        machine.run(until=10 * SEC)
+        consumed = kernel.domain.total_run_ns(machine.sim.now)
+        # Bursty, not idle and not fully saturated.
+        assert 2 * SEC < consumed < 19 * SEC
+        assert show.slides_shown >= 1
+
+    def test_ui_thread_wakes_frequently(self):
+        builder = StackBuilder(pcpus=2)
+        kernel = builder.guest("desktop", vcpus=2)
+        seeds = SeedSequenceFactory(3)
+        config = SlideshowConfig(decode_ns=1 * MS, render_ns=1 * MS)
+        show = PhotoSlideshow(kernel, seeds.generator("ss"), config)
+        show.install()
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        ui = next(t for t in kernel.threads if t.name == "slideshow.ui")
+        # ~60Hz x 2s of ticks, each burning ~2-3ms.
+        assert ui.exec_ns >= 100 * MS
+
+
+class TestKernelBuild:
+    def test_compiles_and_keeps_vcpus_busy(self):
+        builder = StackBuilder(pcpus=4)
+        kernel = builder.guest("builder", vcpus=4)
+        seeds = SeedSequenceFactory(3)
+        build = KernelBuild(kernel, seeds.generator("kb"), jobs=8)
+        build.install()
+        machine = builder.start()
+        machine.run(until=4 * SEC)
+        assert build.compiled > 50
+        for index in range(4):
+            assert int(kernel.timer_interrupts[index]) > 3000
+
+
+class TestBoundedQueue:
+    def test_capacity_respected_and_fifo(self, single_guest):
+        builder, kernel = single_guest
+        queue = BoundedQueue(kernel, capacity=2)
+        received = []
+
+        def producer(thread):
+            for item in range(6):
+                yield from queue.put(thread, item)
+                assert len(queue.items) <= 2
+            yield from queue.close(thread)
+
+        def consumer(thread):
+            while True:
+                item = yield from queue.get(thread)
+                if item is None:
+                    return
+                received.append(item)
+                from repro.guest.actions import Compute
+
+                yield Compute(2 * MS)
+
+        for name, gen in (("p", producer), ("c", consumer)):
+            ph = []
+
+            def deferred(ph=ph):
+                yield from ph[0]
+
+            thread = kernel.spawn(deferred(), name)
+            ph.append(gen(thread))
+        machine = builder.start()
+        machine.run(until=5 * SEC)
+        assert received == [0, 1, 2, 3, 4, 5]
+
+    def test_close_releases_all_consumers(self, single_guest):
+        builder, kernel = single_guest
+        queue = BoundedQueue(kernel, capacity=4)
+        finished = []
+
+        def consumer(thread):
+            item = yield from queue.get(thread)
+            finished.append(item)
+
+        def closer(thread):
+            from repro.guest.actions import Compute
+
+            yield Compute(5 * MS)
+            yield from queue.close(thread)
+
+        for index in range(3):
+            ph = []
+
+            def deferred(ph=ph):
+                yield from ph[0]
+
+            thread = kernel.spawn(deferred(), f"c{index}")
+            ph.append(consumer(thread))
+        ph = []
+
+        def deferred2(ph=ph):
+            yield from ph[0]
+
+        thread = kernel.spawn(deferred2(), "closer")
+        ph.append(closer(thread))
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        assert finished == [None, None, None]
+
+    def test_zero_capacity_rejected(self, single_guest):
+        _, kernel = single_guest
+        with pytest.raises(ValueError):
+            BoundedQueue(kernel, capacity=0)
+
+
+class TestMutexCondBarrier:
+    def test_generation_semantics(self):
+        builder = StackBuilder(pcpus=4)
+        kernel = builder.guest("vm", vcpus=4)
+        barrier = MutexCondBarrier(kernel, parties=3)
+        crossings = []
+
+        def worker(tag, thread):
+            from repro.guest.actions import Compute
+
+            for phase in range(5):
+                yield Compute((1 + tag) * MS)
+                yield from barrier.wait(thread)
+                crossings.append((phase, tag))
+
+        for tag in range(3):
+            ph = []
+
+            def deferred(ph=ph):
+                yield from ph[0]
+
+            thread = kernel.spawn(deferred(), f"w{tag}")
+            ph.append(worker(tag, thread))
+        machine = builder.start()
+        machine.run(until=10 * SEC)
+        assert len(crossings) == 15
+        phases = [p for p, _ in crossings]
+        assert phases == sorted(phases)  # no thread skipped ahead
+
+    def test_single_party_barrier_never_blocks(self, single_guest):
+        builder, kernel = single_guest
+        barrier = MutexCondBarrier(kernel, parties=1)
+
+        def worker(thread):
+            for _ in range(3):
+                yield from barrier.wait(thread)
+
+        ph = []
+
+        def deferred():
+            yield from ph[0]
+
+        thread = kernel.spawn(deferred(), "solo")
+        ph.append(worker(thread))
+        machine = builder.start()
+        machine.run(until=1 * SEC)
+        assert thread.done
+
+    def test_invalid_parties_rejected(self, single_guest):
+        _, kernel = single_guest
+        with pytest.raises(ValueError):
+            MutexCondBarrier(kernel, parties=0)

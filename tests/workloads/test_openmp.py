@@ -1,0 +1,74 @@
+"""Tests for the OpenMP runtime model."""
+
+import pytest
+
+from repro.sim.rng import SeedSequenceFactory
+from repro.units import MS, SEC
+from repro.workloads.base import AppHarness
+from repro.workloads.openmp import (
+    OpenMPRuntime,
+    SPINCOUNT_ACTIVE,
+    SPINCOUNT_DEFAULT,
+    SPINCOUNT_PASSIVE,
+    spincount_to_budget_ns,
+)
+from tests.conftest import StackBuilder
+
+
+class TestSpincountConversion:
+    def test_passive_is_zero(self):
+        assert spincount_to_budget_ns(SPINCOUNT_PASSIVE) == 0
+
+    def test_default_is_microseconds(self):
+        budget = spincount_to_budget_ns(SPINCOUNT_DEFAULT)
+        assert 100_000 <= budget <= 1_000_000
+
+    def test_active_is_effectively_forever(self):
+        assert spincount_to_budget_ns(SPINCOUNT_ACTIVE) >= 10**10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spincount_to_budget_ns(-1)
+
+
+class TestParallelRegion:
+    def _run_region(self, spincount, phases=6, team=4):
+        builder = StackBuilder(pcpus=4)
+        kernel = builder.guest("vm", vcpus=4)
+        seeds = SeedSequenceFactory(2)
+        runtime = OpenMPRuntime(
+            kernel, spincount=spincount, rng=seeds.generator("omp"), team_size=team
+        )
+        harness = AppHarness(kernel, "region")
+        runtime.parallel_region(harness, [(2 * MS, 0.2)] * phases)
+        machine = builder.start()
+        machine.run(until=30 * SEC)
+        return harness, runtime, kernel
+
+    @pytest.mark.parametrize(
+        "spincount", [SPINCOUNT_PASSIVE, SPINCOUNT_DEFAULT, SPINCOUNT_ACTIVE]
+    )
+    def test_region_completes_under_all_policies(self, spincount):
+        harness, runtime, kernel = self._run_region(spincount)
+        assert harness.done
+        assert harness.duration_ns > 0
+
+    def test_team_size_defaults_to_online_vcpus(self):
+        builder = StackBuilder(pcpus=4)
+        kernel = builder.guest("vm", vcpus=4)
+        kernel.cpu_freeze_mask.add(3)
+        seeds = SeedSequenceFactory(2)
+        runtime = OpenMPRuntime(kernel, SPINCOUNT_DEFAULT, seeds.generator("omp"))
+        assert runtime.team_size == 3
+
+    def test_all_threads_do_all_phases(self):
+        harness, runtime, kernel = self._run_region(SPINCOUNT_PASSIVE, phases=4)
+        # 4 threads x 4 phases x ~2ms each: total exec close to 16ms+sync.
+        total = sum(t.exec_ns for t in harness.threads)
+        assert total >= 4 * 4 * 1 * MS
+
+    def test_dedicated_runtime_near_ideal(self):
+        """On an idle host the region takes ~sum of phases (no delays)."""
+        harness, runtime, kernel = self._run_region(SPINCOUNT_ACTIVE, phases=5)
+        # 5 phases x 2ms mean, imbalance 0.2 -> expect < 2.5x ideal.
+        assert harness.duration_ns <= 25 * MS

@@ -1,0 +1,55 @@
+"""Tests for the NPB problem-class and PARSEC input-size scaling knobs."""
+
+import pytest
+
+from repro.workloads.npb import NPB_PROFILES
+from repro.workloads.parsec import PARSEC_PROFILES
+
+
+class TestNPBClasses:
+    def test_class_w_is_identity(self):
+        base = NPB_PROFILES["cg"]
+        assert base.with_class("W") == base
+
+    def test_classes_grow_per_phase_compute(self):
+        base = NPB_PROFILES["cg"]
+        s = base.with_class("S")
+        a = base.with_class("A")
+        c = base.with_class("C")
+        assert s.phase_ns < base.phase_ns < a.phase_ns < c.phase_ns
+        assert a.phase_ns == base.phase_ns * 4
+        # Synchronization structure unchanged.
+        assert a.iterations == base.iterations
+        assert a.barrier_every == base.barrier_every
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            NPB_PROFILES["cg"].with_class("D")
+
+    def test_tiny_phase_floors(self):
+        from dataclasses import replace
+
+        tiny = replace(NPB_PROFILES["cg"], phase_ns=2000)
+        assert tiny.with_class("S").phase_ns >= 1000
+
+
+class TestParsecInputs:
+    def test_simmedium_is_identity(self):
+        base = PARSEC_PROFILES["bodytrack"]
+        assert base.with_input("simmedium") == base
+
+    def test_inputs_grow_work_units(self):
+        base = PARSEC_PROFILES["bodytrack"]
+        large = base.with_input("simlarge")
+        assert large.iterations == base.iterations * 4
+        assert large.phase_ns == base.phase_ns  # per-unit cost unchanged
+
+    def test_pipeline_scales_items(self):
+        base = PARSEC_PROFILES["dedup"]
+        small = base.with_input("simsmall")
+        assert small.items == round(base.items * 0.25)
+        assert small.iterations == base.iterations
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError):
+            PARSEC_PROFILES["dedup"].with_input("huge")

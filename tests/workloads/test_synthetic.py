@@ -1,0 +1,108 @@
+"""Tests for the synthetic workload primitives."""
+
+import numpy as np
+import pytest
+
+from repro.units import MS, SEC
+from repro.workloads.base import AppHarness
+from repro.workloads.synthetic import (
+    ForkJoinSpec,
+    LoadMix,
+    cpu_hog,
+    fork_join,
+    on_off,
+    poisson_worker,
+)
+from tests.conftest import StackBuilder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestCpuHog:
+    def test_burns_exact_total(self, single_guest):
+        builder, kernel = single_guest
+        thread = kernel.spawn(cpu_hog(200 * MS), "hog")
+        machine = builder.start()
+        machine.run(until=1 * SEC)
+        assert thread.done
+        assert thread.exec_ns >= 200 * MS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(cpu_hog(0))
+        with pytest.raises(ValueError):
+            next(cpu_hog(10, chunk_ns=0))
+
+
+class TestOnOff:
+    def test_duty_cycle(self, single_guest):
+        builder, kernel = single_guest
+        thread = kernel.spawn(
+            on_off(kernel, busy_ns=100 * MS, idle_ns=100 * MS, cycles=5), "wave"
+        )
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        assert thread.done
+        # 5 cycles x 100ms busy = ~500ms of CPU over ~1s of wall time.
+        assert 450 * MS <= thread.exec_ns <= 600 * MS
+
+    def test_validation(self, single_guest):
+        _, kernel = single_guest
+        with pytest.raises(ValueError):
+            next(on_off(kernel, 0, 1))
+
+
+class TestPoissonWorker:
+    def test_completes_all_jobs(self, single_guest, rng):
+        builder, kernel = single_guest
+        thread = kernel.spawn(
+            poisson_worker(kernel, rng, rate_per_s=100, service_ns=1 * MS, jobs=30),
+            "poisson",
+        )
+        machine = builder.start()
+        machine.run(until=5 * SEC)
+        assert thread.done
+        assert thread.exec_ns >= 30 * MS
+
+    def test_validation(self, single_guest, rng):
+        _, kernel = single_guest
+        with pytest.raises(ValueError):
+            next(poisson_worker(kernel, rng, 0, 1, 1))
+
+
+class TestForkJoin:
+    def test_team_completes(self, rng):
+        builder = StackBuilder(pcpus=4)
+        kernel = builder.guest("vm", vcpus=4)
+        harness = AppHarness(kernel, "fj")
+        spec = ForkJoinSpec(threads=4, iterations=5, phase_ns=2 * MS)
+        harness.launch(fork_join(kernel, rng, spec))
+        machine = builder.start()
+        machine.run(until=5 * SEC)
+        assert harness.done
+
+    def test_validation(self, rng, single_guest):
+        _, kernel = single_guest
+        with pytest.raises(ValueError):
+            fork_join(kernel, rng, ForkJoinSpec(threads=0, iterations=1, phase_ns=1))
+
+
+class TestLoadMix:
+    def test_mixture_installs_and_runs(self, rng):
+        builder = StackBuilder(pcpus=4)
+        kernel = builder.guest("vm", vcpus=4)
+        mix = (
+            LoadMix(kernel, rng)
+            .add_hogs(2, total_ns=300 * MS)
+            .add_on_off(1, busy_ns=50 * MS, idle_ns=100 * MS)
+            .add_poisson(rate_per_s=50, service_ns=2 * MS, jobs=10)
+            .add_fork_join(ForkJoinSpec(threads=2, iterations=3, phase_ns=5 * MS))
+        )
+        assert len(mix.installed) == 2 + 1 + 1 + 2
+        machine = builder.start()
+        machine.run(until=3 * SEC)
+        consumed = kernel.domain.total_run_ns(machine.sim.now)
+        assert consumed > 500 * MS
