@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Cold-vs-warm cache smoke check for the experiment runner.
+
+Runs ``repro.experiments.runner --all`` twice against a fresh cache
+directory and asserts the contract the parallel executor guarantees:
+
+* the second (warm) run re-executes **zero** cells — every cell is a
+  cache hit, per the runner's telemetry counters on stderr;
+* the warm run is at least ``--min-speedup`` times faster;
+* both runs produce byte-identical report files (determinism).
+
+Used by the CI smoke workflow (``.github/workflows/smoke.yml``)::
+
+    PYTHONPATH=src python scripts/cache_smoke.py --scale 0.05 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SUMMARY = re.compile(r"\[telemetry\] cells=(\d+) hits=(\d+) misses=(\d+)")
+
+
+def run_once(scale: float, jobs: int, cache_dir: Path, out_dir: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.experiments.runner",
+        "--all",
+        "--scale",
+        str(scale),
+        "--jobs",
+        str(jobs),
+        "--cache-dir",
+        str(cache_dir),
+        "--out",
+        str(out_dir),
+    ]
+    started = time.monotonic()
+    proc = subprocess.run(
+        cmd, cwd=REPO, env=env, capture_output=True, text=True
+    )
+    elapsed = time.monotonic() - started
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-4000:])
+        sys.stderr.write(proc.stderr[-4000:])
+        raise SystemExit(f"runner failed (rc={proc.returncode})")
+    match = SUMMARY.search(proc.stderr)
+    if not match:
+        raise SystemExit("no [telemetry] summary found on runner stderr")
+    cells, hits, misses = map(int, match.groups())
+    return elapsed, cells, hits, misses
+
+
+def compare_outputs(first: Path, second: Path) -> list[str]:
+    """Return the report files that differ (telemetry.json is timing)."""
+    names = sorted(
+        p.name
+        for p in first.iterdir()
+        if p.suffix in {".txt", ".json"} and p.name != "telemetry.json"
+    )
+    _, mismatch, errors = filecmp.cmpfiles(first, second, names, shallow=False)
+    return mismatch + errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        cache = tmp_path / "cache"
+        out_cold, out_warm = tmp_path / "cold", tmp_path / "warm"
+
+        cold_s, cells, hits, misses = run_once(args.scale, args.jobs, cache, out_cold)
+        print(f"cold: {cold_s:.1f}s cells={cells} hits={hits} misses={misses}")
+        if misses == 0:
+            raise SystemExit("cold run hit the cache; cache dir was not fresh")
+
+        warm_s, cells2, hits2, misses2 = run_once(
+            args.scale, args.jobs, cache, out_warm
+        )
+        print(f"warm: {warm_s:.1f}s cells={cells2} hits={hits2} misses={misses2}")
+
+        failures = []
+        if misses2 != 0:
+            failures.append(f"warm run re-executed {misses2} cells (expected 0)")
+        if cells2 != cells:
+            failures.append(f"cell count changed: {cells} -> {cells2}")
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"speedup: {speedup:.1f}x (required >= {args.min_speedup:.1f}x)")
+        if speedup < args.min_speedup:
+            failures.append(
+                f"warm run only {speedup:.1f}x faster (need {args.min_speedup}x)"
+            )
+        diffs = compare_outputs(out_cold, out_warm)
+        if diffs:
+            failures.append(f"report files differ between runs: {diffs}")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("cache smoke OK")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,17 +10,24 @@ vScale's individual design decisions on our simulated stack:
 * **rounding** — ceil (Algorithm 1's letter) vs. floor vs. conservative
   rounding of the extendability into a vCPU count.
 * **daemon period** — reaction latency vs. background burstiness.
+
+Each ablation variant is an independent simulation, so every
+``run_*_ablation`` fans its variants out through the parallel executor
+(one :class:`~repro.parallel.CellSpec` per variant); the module-level
+``_*_point`` functions are the picklable cell bodies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.baselines import HotplugScaler, VCPUBalManager
 from repro.core.daemon import DaemonConfig
 from repro.experiments.setups import Config, ScenarioBuilder, run_until_done
 from repro.guest.hotplug import HotplugModel
 from repro.hypervisor.dom0 import Dom0Load, Dom0Toolstack
+from repro.metrics.report import Table
+from repro.parallel import CellSpec, ParallelExecutor, get_default_executor
 from repro.sim.rng import SeedSequenceFactory
 from repro.units import MS, SEC
 from repro.workloads.npb import NPBApp, NPB_PROFILES
@@ -35,6 +42,27 @@ class AblationPoint:
     duration_ns: int
     wait_ns: int
     reconfigurations: int
+
+
+@dataclass
+class AblationResult:
+    """One ablation's points, renderable like the figure results."""
+
+    title: str
+    points: list[AblationPoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = Table(
+            self.title, ["variant", "duration (s)", "VM wait (s)", "reconfigs"]
+        )
+        for point in self.points:
+            table.add_row(
+                point.label,
+                point.duration_ns / 1e9,
+                point.wait_ns / 1e9,
+                point.reconfigurations,
+            )
+        return table.render()
 
 
 def _run_app(scenario, app_name: str, seed: int, work_scale: float) -> tuple[int, int]:
@@ -55,106 +83,164 @@ def _run_app(scenario, app_name: str, seed: int, work_scale: float) -> tuple[int
     return duration, wait
 
 
+def _mechanism_point(
+    variant: str, app_name: str, hotplug_kernel: str, seed: int, work_scale: float
+) -> AblationPoint:
+    """One mechanism variant: ``fixed`` / ``hotplug`` / ``vscale``."""
+    seeds = SeedSequenceFactory(seed)
+    if variant == "fixed":
+        scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
+        label, reconfigs = "fixed vCPUs", lambda: 0
+    elif variant == "hotplug":
+        scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
+        model = HotplugModel(hotplug_kernel, seeds.generator("hp"))
+        scaler = HotplugScaler(scenario.worker_kernel, model)
+        scaler.install()
+        label = f"hotplug ({hotplug_kernel})"
+        reconfigs = lambda: scaler.reconfigurations
+    elif variant == "vscale":
+        scenario = ScenarioBuilder(seed=seed).with_config(Config.VSCALE).build()
+        label = "vScale balancer"
+        reconfigs = lambda: scenario.daemon.reconfigurations if scenario.daemon else 0
+    else:
+        raise ValueError(f"unknown mechanism variant {variant!r}")
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    return AblationPoint(label, duration, wait, reconfigs())
+
+
 def run_mechanism_ablation(
     app_name: str = "cg",
     hotplug_kernel: str = "v3.14.15",
     seed: int = 3,
     work_scale: float = 0.5,
+    executor: ParallelExecutor | None = None,
 ) -> list[AblationPoint]:
     """Same policy, three mechanisms: none / hotplug / vScale balancer."""
-    points = []
-    seeds = SeedSequenceFactory(seed)
-
-    # No scaling at all (vanilla).
-    scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
-    scenario.start()
-    scenario.run(WARMUP_NS)
-    duration, wait = _run_app(scenario, app_name, seed, work_scale)
-    points.append(AblationPoint("fixed vCPUs", duration, wait, 0))
-
-    # Extendability policy + Linux hotplug mechanism.
-    scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
-    model = HotplugModel(hotplug_kernel, seeds.generator("hp"))
-    scaler = HotplugScaler(scenario.worker_kernel, model)
-    scaler.install()
-    scenario.start()
-    scenario.run(WARMUP_NS)
-    duration, wait = _run_app(scenario, app_name, seed, work_scale)
-    points.append(
-        AblationPoint(f"hotplug ({hotplug_kernel})", duration, wait, scaler.reconfigurations)
-    )
-
-    # Full vScale.
-    scenario = ScenarioBuilder(seed=seed).with_config(Config.VSCALE).build()
-    scenario.start()
-    scenario.run(WARMUP_NS)
-    duration, wait = _run_app(scenario, app_name, seed, work_scale)
-    points.append(
-        AblationPoint(
-            "vScale balancer",
-            duration,
-            wait,
-            scenario.daemon.reconfigurations if scenario.daemon else 0,
+    if executor is None:
+        executor = get_default_executor()
+    specs = [
+        CellSpec(
+            experiment="ablations",
+            name=f"mechanism/{variant}",
+            fn=_mechanism_point,
+            kwargs=dict(
+                variant=variant,
+                app_name=app_name,
+                hotplug_kernel=hotplug_kernel,
+                seed=seed,
+                work_scale=work_scale,
+            ),
         )
-    )
-    return points
+        for variant in ("fixed", "hotplug", "vscale")
+    ]
+    return executor.run_cells(specs)
+
+
+def _policy_point(
+    variant: str, app_name: str, seed: int, work_scale: float
+) -> AblationPoint:
+    """One policy variant: ``vscale`` / ``vcpubal``."""
+    seeds = SeedSequenceFactory(seed)
+    if variant == "vscale":
+        scenario = ScenarioBuilder(seed=seed).with_config(Config.VSCALE).build()
+        label = "vScale (consumption-aware)"
+        reconfigs = lambda: scenario.daemon.reconfigurations if scenario.daemon else 0
+    elif variant == "vcpubal":
+        scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
+        dom0 = Dom0Toolstack(seeds.generator("dom0"), load=Dom0Load.IDLE)
+        model = HotplugModel("v3.14.15", seeds.generator("hp"))
+        manager = VCPUBalManager(scenario.worker_kernel, dom0, model)
+        manager.install()
+        label = "VCPU-Bal (weight-only, dom0)"
+        reconfigs = lambda: manager.reconfigurations
+    else:
+        raise ValueError(f"unknown policy variant {variant!r}")
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    return AblationPoint(label, duration, wait, reconfigs())
 
 
 def run_policy_ablation(
-    app_name: str = "cg", seed: int = 3, work_scale: float = 0.5
+    app_name: str = "cg",
+    seed: int = 3,
+    work_scale: float = 0.5,
+    executor: ParallelExecutor | None = None,
 ) -> list[AblationPoint]:
     """vScale's consumption-aware policy vs. VCPU-Bal's weight-only one."""
-    points = []
-    seeds = SeedSequenceFactory(seed)
-
-    scenario = ScenarioBuilder(seed=seed).with_config(Config.VSCALE).build()
-    scenario.start()
-    scenario.run(WARMUP_NS)
-    duration, wait = _run_app(scenario, app_name, seed, work_scale)
-    points.append(
-        AblationPoint(
-            "vScale (consumption-aware)",
-            duration,
-            wait,
-            scenario.daemon.reconfigurations if scenario.daemon else 0,
+    if executor is None:
+        executor = get_default_executor()
+    specs = [
+        CellSpec(
+            experiment="ablations",
+            name=f"policy/{variant}",
+            fn=_policy_point,
+            kwargs=dict(
+                variant=variant, app_name=app_name, seed=seed, work_scale=work_scale
+            ),
         )
-    )
+        for variant in ("vscale", "vcpubal")
+    ]
+    return executor.run_cells(specs)
 
-    scenario = ScenarioBuilder(seed=seed).with_config(Config.VANILLA).build()
-    dom0 = Dom0Toolstack(seeds.generator("dom0"), load=Dom0Load.IDLE)
-    model = HotplugModel("v3.14.15", seeds.generator("hp"))
-    manager = VCPUBalManager(scenario.worker_kernel, dom0, model)
-    manager.install()
+
+def _rounding_point(
+    mode: str, app_name: str, seed: int, work_scale: float
+) -> AblationPoint:
+    builder = ScenarioBuilder(seed=seed).with_config(Config.VSCALE)
+    builder.daemon_config = DaemonConfig(round_mode=mode)
+    scenario = builder.build()
     scenario.start()
     scenario.run(WARMUP_NS)
     duration, wait = _run_app(scenario, app_name, seed, work_scale)
-    points.append(
-        AblationPoint("VCPU-Bal (weight-only, dom0)", duration, wait, manager.reconfigurations)
+    return AblationPoint(
+        f"round={mode}",
+        duration,
+        wait,
+        scenario.daemon.reconfigurations if scenario.daemon else 0,
     )
-    return points
 
 
 def run_rounding_ablation(
-    app_name: str = "ua", seed: int = 3, work_scale: float = 0.5
+    app_name: str = "ua",
+    seed: int = 3,
+    work_scale: float = 0.5,
+    executor: ParallelExecutor | None = None,
 ) -> list[AblationPoint]:
     """ceil vs. floor vs. conservative rounding of the vCPU target."""
-    points = []
-    for mode in ("ceil", "floor", "conservative"):
-        builder = ScenarioBuilder(seed=seed).with_config(Config.VSCALE)
-        builder.daemon_config = DaemonConfig(round_mode=mode)
-        scenario = builder.build()
-        scenario.start()
-        scenario.run(WARMUP_NS)
-        duration, wait = _run_app(scenario, app_name, seed, work_scale)
-        points.append(
-            AblationPoint(
-                f"round={mode}",
-                duration,
-                wait,
-                scenario.daemon.reconfigurations if scenario.daemon else 0,
-            )
+    if executor is None:
+        executor = get_default_executor()
+    specs = [
+        CellSpec(
+            experiment="ablations",
+            name=f"rounding/{mode}",
+            fn=_rounding_point,
+            kwargs=dict(
+                mode=mode, app_name=app_name, seed=seed, work_scale=work_scale
+            ),
         )
-    return points
+        for mode in ("ceil", "floor", "conservative")
+    ]
+    return executor.run_cells(specs)
+
+
+def _period_point(
+    period_ms: int, app_name: str, seed: int, work_scale: float
+) -> AblationPoint:
+    builder = ScenarioBuilder(seed=seed).with_config(Config.VSCALE)
+    builder.daemon_config = DaemonConfig(period_ns=period_ms * MS)
+    scenario = builder.build()
+    scenario.start()
+    scenario.run(WARMUP_NS)
+    duration, wait = _run_app(scenario, app_name, seed, work_scale)
+    return AblationPoint(
+        f"period={period_ms}ms",
+        duration,
+        wait,
+        scenario.daemon.reconfigurations if scenario.daemon else 0,
+    )
 
 
 def run_period_ablation(
@@ -162,22 +248,48 @@ def run_period_ablation(
     periods_ms: tuple[int, ...] = (10, 100, 1000),
     seed: int = 3,
     work_scale: float = 0.5,
+    executor: ParallelExecutor | None = None,
 ) -> list[AblationPoint]:
     """Daemon polling period sensitivity."""
-    points = []
-    for period in periods_ms:
-        builder = ScenarioBuilder(seed=seed).with_config(Config.VSCALE)
-        builder.daemon_config = DaemonConfig(period_ns=period * MS)
-        scenario = builder.build()
-        scenario.start()
-        scenario.run(WARMUP_NS)
-        duration, wait = _run_app(scenario, app_name, seed, work_scale)
-        points.append(
-            AblationPoint(
-                f"period={period}ms",
-                duration,
-                wait,
-                scenario.daemon.reconfigurations if scenario.daemon else 0,
-            )
+    if executor is None:
+        executor = get_default_executor()
+    specs = [
+        CellSpec(
+            experiment="ablations",
+            name=f"period/{period}ms",
+            fn=_period_point,
+            kwargs=dict(
+                period_ms=period, app_name=app_name, seed=seed, work_scale=work_scale
+            ),
         )
-    return points
+        for period in periods_ms
+    ]
+    return executor.run_cells(specs)
+
+
+def run_all(
+    seed: int = 3,
+    work_scale: float = 0.5,
+    executor: ParallelExecutor | None = None,
+) -> list[AblationResult]:
+    """All four ablations, as renderable results (used by the runner)."""
+    if executor is None:
+        executor = get_default_executor()
+    return [
+        AblationResult(
+            "Ablation: reconfiguration mechanism (cg, heavy spin)",
+            run_mechanism_ablation(seed=seed, work_scale=work_scale, executor=executor),
+        ),
+        AblationResult(
+            "Ablation: scaling policy (cg, heavy spin)",
+            run_policy_ablation(seed=seed, work_scale=work_scale, executor=executor),
+        ),
+        AblationResult(
+            "Ablation: extendability rounding (ua, heavy spin)",
+            run_rounding_ablation(seed=seed, work_scale=work_scale, executor=executor),
+        ),
+        AblationResult(
+            "Ablation: daemon polling period (cg, heavy spin)",
+            run_period_ablation(seed=seed, work_scale=work_scale, executor=executor),
+        ),
+    ]

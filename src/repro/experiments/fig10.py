@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.experiments.npb_common import run_cell
 from repro.experiments.setups import Config
 from repro.metrics.report import Table
+from repro.parallel import CellSpec, ParallelExecutor, get_default_executor
 from repro.workloads.npb import NPB_PROFILES
 from repro.workloads.openmp import (
     SPINCOUNT_ACTIVE,
@@ -48,16 +49,44 @@ class Fig10Result:
         return table.render()
 
 
+def cells(
+    apps: list[str] | None = None,
+    spincounts: tuple[int, ...] = (SPINCOUNT_ACTIVE, SPINCOUNT_DEFAULT, SPINCOUNT_PASSIVE),
+    vcpus: int = 4,
+    seed: int = 3,
+    work_scale: float = 1.0,
+) -> list[CellSpec]:
+    return [
+        CellSpec(
+            experiment="fig10",
+            name=f"{app}/spin={spincount}",
+            fn=run_cell,
+            kwargs=dict(
+                app_name=app,
+                vcpus=vcpus,
+                spincount=spincount,
+                config=Config.VANILLA,
+                seed=seed,
+                work_scale=work_scale,
+            ),
+        )
+        for app in apps or list(NPB_PROFILES)
+        for spincount in spincounts
+    ]
+
+
 def run(
     apps: list[str] | None = None,
     spincounts: tuple[int, ...] = (SPINCOUNT_ACTIVE, SPINCOUNT_DEFAULT, SPINCOUNT_PASSIVE),
     vcpus: int = 4,
     seed: int = 3,
     work_scale: float = 1.0,
+    executor: ParallelExecutor | None = None,
 ) -> Fig10Result:
+    if executor is None:
+        executor = get_default_executor()
+    specs = cells(apps, spincounts, vcpus, seed, work_scale)
     result = Fig10Result()
-    for app in apps or list(NPB_PROFILES):
-        for spincount in spincounts:
-            cell = run_cell(app, vcpus, spincount, Config.VANILLA, seed, work_scale)
-            result.rates[(app, spincount)] = cell.ipi_rate_per_vcpu
+    for cell in executor.run_cells(specs):
+        result.rates[(cell.app, cell.spincount)] = cell.ipi_rate_per_vcpu
     return result

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.setups import ALL_CONFIGS, Config, ScenarioBuilder, run_until_done
 from repro.metrics.report import Table
+from repro.parallel import CellSpec, ParallelExecutor, get_default_executor
 from repro.sim.rng import SeedSequenceFactory
 from repro.units import SEC
 from repro.workloads.parsec import PARSEC_PROFILES, ParsecApp
@@ -120,15 +121,80 @@ def run_cell(
     )
 
 
+def cells(
+    vcpus: int = 4,
+    apps: list[str] | None = None,
+    configs: list[Config] | None = None,
+    seed: int = 3,
+    work_scale: float = 1.0,
+) -> list[CellSpec]:
+    return [
+        CellSpec(
+            experiment="fig11_13",
+            name=f"{vcpus}v/{app}/{config.value}",
+            fn=run_cell,
+            kwargs=dict(
+                app_name=app,
+                vcpus=vcpus,
+                config=config,
+                seed=seed,
+                work_scale=work_scale,
+            ),
+        )
+        for app in apps or list(PARSEC_PROFILES)
+        for config in configs or ALL_CONFIGS
+    ]
+
+
 def run(
     vcpus: int = 4,
     apps: list[str] | None = None,
     configs: list[Config] | None = None,
     seed: int = 3,
     work_scale: float = 1.0,
+    executor: ParallelExecutor | None = None,
 ) -> ParsecFigureResult:
+    if executor is None:
+        executor = get_default_executor()
+    specs = cells(vcpus, apps, configs, seed, work_scale)
     result = ParsecFigureResult(vcpus=vcpus)
-    for app in apps or list(PARSEC_PROFILES):
-        for config in configs or ALL_CONFIGS:
-            result.cells[(app, config)] = run_cell(app, vcpus, config, seed, work_scale)
+    for cell in executor.run_cells(specs):
+        result.cells[(cell.app, cell.config)] = cell
     return result
+
+
+@dataclass
+class Fig13Result:
+    """Figure 13 proper: the vanilla runs' per-vCPU IPI-rate profile."""
+
+    base: ParsecFigureResult
+
+    def rate(self, app: str) -> float:
+        return self.base.ipi_rate(app)
+
+    def render(self) -> str:
+        table = Table(
+            "Figure 13: vIPIs per second per vCPU (PARSEC, vanilla)",
+            ["app", "vIPI/s/vCPU"],
+        )
+        rates = {
+            app: self.base.ipi_rate(app)
+            for app, config in self.base.cells
+            if config is Config.VANILLA
+        }
+        for app, rate in sorted(rates.items(), key=lambda kv: (-kv[1], kv[0])):
+            table.add_row(app, f"{rate:.0f}")
+        return table.render()
+
+
+def run_fig13(
+    vcpus: int = 4,
+    apps: list[str] | None = None,
+    seed: int = 3,
+    work_scale: float = 1.0,
+    executor: ParallelExecutor | None = None,
+) -> Fig13Result:
+    """Profile the vanilla runs' reschedule-IPI rates (Figure 13)."""
+    return Fig13Result(
+        run(vcpus, apps, [Config.VANILLA], seed, work_scale, executor)
+    )

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.experiments.npb_common import NPBCell, run_cell
 from repro.experiments.setups import ALL_CONFIGS, Config
 from repro.metrics.report import Table
+from repro.parallel import CellSpec, ParallelExecutor, get_default_executor
 from repro.workloads.npb import NPB_PROFILES
 from repro.workloads.openmp import (
     SPINCOUNT_ACTIVE,
@@ -70,6 +71,38 @@ class NPBFigureResult:
         return table.render()
 
 
+def cells(
+    vcpus: int = 4,
+    apps: list[str] | None = None,
+    spincounts: tuple[int, ...] = SPINCOUNTS,
+    configs: list[Config] | None = None,
+    seed: int = 3,
+    work_scale: float = 1.0,
+) -> list[CellSpec]:
+    """Decompose one figure's NPB matrix into independent cells."""
+    specs = []
+    for spincount in spincounts:
+        for app in apps or list(NPB_PROFILES):
+            for config in configs or ALL_CONFIGS:
+                label = SPINCOUNT_LABELS.get(spincount, str(spincount))
+                specs.append(
+                    CellSpec(
+                        experiment="fig6_7",
+                        name=f"{vcpus}v/{app}/spin={label}/{config.value}",
+                        fn=run_cell,
+                        kwargs=dict(
+                            app_name=app,
+                            vcpus=vcpus,
+                            spincount=spincount,
+                            config=config,
+                            seed=seed,
+                            work_scale=work_scale,
+                        ),
+                    )
+                )
+    return specs
+
+
 def run(
     vcpus: int = 4,
     apps: list[str] | None = None,
@@ -77,14 +110,13 @@ def run(
     configs: list[Config] | None = None,
     seed: int = 3,
     work_scale: float = 1.0,
+    executor: ParallelExecutor | None = None,
 ) -> NPBFigureResult:
     """Run the (subset of the) NPB matrix for one figure."""
+    if executor is None:
+        executor = get_default_executor()
     result = NPBFigureResult(vcpus=vcpus)
-    for spincount in spincounts:
-        for app in apps or list(NPB_PROFILES):
-            for config in configs or ALL_CONFIGS:
-                cell = run_cell(
-                    app, vcpus, spincount, config, seed=seed, work_scale=work_scale
-                )
-                result.cells[(app, spincount, config)] = cell
+    specs = cells(vcpus, apps, spincounts, configs, seed, work_scale)
+    for cell in executor.run_cells(specs):
+        result.cells[(cell.app, cell.spincount, cell.config)] = cell
     return result

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.experiments.npb_common import run_cell
 from repro.experiments.setups import Config
 from repro.metrics.report import Table
+from repro.parallel import CellSpec, ParallelExecutor, get_default_executor
 from repro.workloads.npb import NPB_PROFILES
 from repro.workloads.openmp import SPINCOUNT_ACTIVE
 
@@ -46,6 +47,38 @@ class Fig9Result:
         return table.render()
 
 
+def cells(
+    apps: list[str] | None = None,
+    vcpus: int = 4,
+    spincount: int = SPINCOUNT_ACTIVE,
+    include_pvlock: bool = True,
+    seed: int = 3,
+    work_scale: float = 1.0,
+) -> list[CellSpec]:
+    configs = [Config.VANILLA, Config.VSCALE]
+    if include_pvlock:
+        configs += [Config.PVLOCK, Config.VSCALE_PVLOCK]
+    specs = []
+    for app in apps or list(NPB_PROFILES):
+        for config in configs:
+            specs.append(
+                CellSpec(
+                    experiment="fig9",
+                    name=f"{app}/{config.value}",
+                    fn=run_cell,
+                    kwargs=dict(
+                        app_name=app,
+                        vcpus=vcpus,
+                        spincount=spincount,
+                        config=config,
+                        seed=seed,
+                        work_scale=work_scale,
+                    ),
+                )
+            )
+    return specs
+
+
 def run(
     apps: list[str] | None = None,
     vcpus: int = 4,
@@ -53,16 +86,21 @@ def run(
     include_pvlock: bool = True,
     seed: int = 3,
     work_scale: float = 1.0,
+    executor: ParallelExecutor | None = None,
 ) -> Fig9Result:
+    if executor is None:
+        executor = get_default_executor()
+    specs = cells(apps, vcpus, spincount, include_pvlock, seed, work_scale)
+    by_config = {}
+    for cell in executor.run_cells(specs):
+        by_config[(cell.app, cell.config)] = cell
     result = Fig9Result()
     for app in apps or list(NPB_PROFILES):
-        vanilla = run_cell(app, vcpus, spincount, Config.VANILLA, seed, work_scale)
-        vscale = run_cell(app, vcpus, spincount, Config.VSCALE, seed, work_scale)
+        vanilla = by_config[(app, Config.VANILLA)]
+        vscale = by_config[(app, Config.VSCALE)]
         result.plain[app] = (vanilla.wait_ns, vscale.wait_ns)
         if include_pvlock:
-            vanilla_pv = run_cell(app, vcpus, spincount, Config.PVLOCK, seed, work_scale)
-            vscale_pv = run_cell(
-                app, vcpus, spincount, Config.VSCALE_PVLOCK, seed, work_scale
-            )
+            vanilla_pv = by_config[(app, Config.PVLOCK)]
+            vscale_pv = by_config[(app, Config.VSCALE_PVLOCK)]
             result.pvlock[app] = (vanilla_pv.wait_ns, vscale_pv.wait_ns)
     return result

@@ -6,58 +6,82 @@ producing the result text without pytest::
 
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner table1 fig5
-    python -m repro.experiments.runner --all --scale 0.3 --out results/
+    python -m repro.experiments.runner --all --scale 0.3 --jobs 4 --out results/
 
 Each experiment writes its rendered table/series to stdout and, with
-``--out``, to ``<out>/<name>.txt``.
+``--out``, to ``<out>/<name>.txt`` (plus ``<name>.json`` and a
+``telemetry.json``).  Every experiment runs through the parallel
+executor (``repro.parallel``): grid experiments fan their cells out over
+``--jobs`` worker processes, and finished cells are memoized in a
+content-addressed on-disk cache (disable with ``--no-cache``), so
+re-runs skip already-computed cells.  The simulator is seeded and
+bit-for-bit deterministic, so stdout is byte-identical regardless of
+``--jobs`` or cache state; per-cell timings and the cache hit/miss
+summary go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 from typing import Callable
 
+from repro.parallel import (
+    CellSpec,
+    ParallelExecutor,
+    ResultCache,
+    default_cache_dir,
+)
 
-def _table1(scale: float):
+
+def _single(executor: ParallelExecutor, name: str, fn, **kwargs):
+    """Run a non-grid experiment as one cached cell."""
+    return executor.run_cell(CellSpec(name, name, fn, kwargs))
+
+
+def _table1(scale: float, executor: ParallelExecutor):
     from repro.experiments import table1
 
-    return table1.run(iterations=max(1000, int(1_000_000 * scale)))
+    return _single(
+        executor, "table1", table1.run, iterations=max(1000, int(1_000_000 * scale))
+    )
 
 
-def _fig4(scale: float) -> str:
+def _fig4(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig4
 
-    return fig4.run(iterations=max(200, int(10_000 * scale)))
+    return _single(executor, "fig4", fig4.run, iterations=max(200, int(10_000 * scale)))
 
 
-def _table2(scale: float) -> str:
+def _table2(scale: float, executor: ParallelExecutor):
     from repro.experiments import table2
 
-    return table2.run()
+    return _single(executor, "table2", table2.run)
 
 
-def _table3(scale: float) -> str:
+def _table3(scale: float, executor: ParallelExecutor):
     from repro.experiments import table3
 
-    return table3.run(iterations=max(20, int(200 * scale)))
+    return _single(
+        executor, "table3", table3.run, iterations=max(20, int(200 * scale))
+    )
 
 
-def _fig5(scale: float) -> str:
+def _fig5(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig5
 
-    return fig5.run(cycles=max(20, int(100 * scale)))
+    return _single(executor, "fig5", fig5.run, cycles=max(20, int(100 * scale)))
 
 
-def _fig6(scale: float) -> str:
+def _fig6(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig6_7
 
-    return fig6_7.run(vcpus=4, work_scale=scale)
+    return fig6_7.run(vcpus=4, work_scale=scale, executor=executor)
 
 
-def _fig7(scale: float) -> str:
+def _fig7(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig6_7
     from repro.experiments.setups import Config
     from repro.workloads.openmp import SPINCOUNT_ACTIVE
@@ -67,51 +91,80 @@ def _fig7(scale: float) -> str:
         spincounts=(SPINCOUNT_ACTIVE,),
         configs=[Config.VANILLA, Config.VSCALE],
         work_scale=scale,
+        executor=executor,
     )
 
 
-def _fig8(scale: float) -> str:
+def _fig8(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig8
 
-    return [fig8.run(vcpus=4, work_scale=scale), fig8.run(vcpus=8, work_scale=scale)]
+    specs = [
+        CellSpec("fig8", f"{vcpus}v", fig8.run, dict(vcpus=vcpus, work_scale=scale))
+        for vcpus in (4, 8)
+    ]
+    return executor.run_cells(specs)
 
 
-def _fig9(scale: float) -> str:
+def _fig9(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig9
 
-    return fig9.run(work_scale=scale)
+    return fig9.run(work_scale=scale, executor=executor)
 
 
-def _fig10(scale: float) -> str:
+def _fig10(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig10
 
-    return fig10.run(work_scale=scale)
+    return fig10.run(work_scale=scale, executor=executor)
 
 
-def _fig11(scale: float) -> str:
+def _fig11(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig11_13
 
-    return fig11_13.run(vcpus=4, work_scale=scale)
+    return fig11_13.run(vcpus=4, work_scale=scale, executor=executor)
 
 
-def _fig12(scale: float) -> str:
+def _fig12(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig11_13
     from repro.experiments.setups import Config
 
     return fig11_13.run(
-        vcpus=8, configs=[Config.VANILLA, Config.VSCALE], work_scale=scale
+        vcpus=8,
+        configs=[Config.VANILLA, Config.VSCALE],
+        work_scale=scale,
+        executor=executor,
     )
 
 
-def _fig14(scale: float) -> str:
+def _fig13(scale: float, executor: ParallelExecutor):
+    from repro.experiments import fig11_13
+
+    return fig11_13.run_fig13(vcpus=4, work_scale=scale, executor=executor)
+
+
+def _fig14(scale: float, executor: ParallelExecutor):
     from repro.experiments import fig14
     from repro.units import SEC
 
     duration = max(1, round(3 * scale)) * SEC
-    return fig14.run(duration_ns=duration)
+    return _single(executor, "fig14", fig14.run, duration_ns=duration)
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[float], str]]] = {
+def _variance(scale: float, executor: ParallelExecutor):
+    from repro.experiments import variance
+
+    return variance.run(work_scale=scale, executor=executor)
+
+
+def _ablations(scale: float, executor: ParallelExecutor):
+    from repro.experiments import ablations
+
+    return ablations.run_all(work_scale=max(0.05, 0.5 * scale), executor=executor)
+
+
+#: name -> (description, fn(scale, executor) -> result object(s)).  The
+#: functions return renderable result objects (or lists of them), never
+#: pre-rendered strings.
+EXPERIMENTS: dict[str, tuple[str, Callable[[float, ParallelExecutor], object]]] = {
     "table1": ("vScale channel read overhead", _table1),
     "fig4": ("dom0/libxl monitoring cost", _fig4),
     "table2": ("frozen-vCPU interrupt quiescence", _table2),
@@ -124,8 +177,18 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[float], str]]] = {
     "fig10": ("NPB vIPI rates", _fig10),
     "fig11": ("PARSEC normalized times, 4-vCPU VM", _fig11),
     "fig12": ("PARSEC normalized times, 8-vCPU VM", _fig12),
+    "fig13": ("PARSEC vIPI rates (vanilla)", _fig13),
     "fig14": ("Apache under httperf", _fig14),
+    "variance": ("seed-variance error bars (cg)", _variance),
+    "ablations": ("design-choice ablations", _ablations),
 }
+
+
+def build_executor(args: argparse.Namespace) -> ParallelExecutor:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return ParallelExecutor(jobs=args.jobs, cache=cache)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -141,12 +204,30 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="work scale factor (0 < scale <= 1 shrinks runs)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for grid cells (default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache location (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro-vscale)",
+    )
     parser.add_argument("--out", type=Path, default=None, help="output directory")
     args = parser.parse_args(argv)
 
     if args.list:
         for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name:8s} {description}")
+            print(f"{name:9s} {description}")
         return 0
 
     names = list(EXPERIMENTS) if args.all else args.names
@@ -157,18 +238,30 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {unknown}")
     if args.scale <= 0:
         parser.error("--scale must be positive")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
+    executor = build_executor(args)
+    telemetry = executor.telemetry
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     for name in names:
         description, fn = EXPERIMENTS[name]
         print(f"=== {name}: {description}", flush=True)
-        started = time.time()
-        outcome = fn(args.scale)
+        mark = telemetry.mark()
+        outcome = fn(args.scale, executor)
         parts = outcome if isinstance(outcome, list) else [outcome]
         text = "\n\n".join(part.render() for part in parts)
         print(text)
-        print(f"--- {name} done in {time.time() - started:.1f}s\n", flush=True)
+        print(flush=True)
+        cell_lines = telemetry.render_cells(since=mark)
+        if cell_lines:
+            print(cell_lines, file=sys.stderr)
+        print(
+            f"--- {name} done in {telemetry.executed_seconds(since=mark):.1f}s",
+            file=sys.stderr,
+            flush=True,
+        )
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(text + "\n")
             from repro.experiments import results as results_mod
@@ -178,11 +271,14 @@ def main(argv: list[str] | None = None) -> int:
                 if len(parts) > 1
                 else results_mod.to_dict(parts[0], name)
             )
-            import json
-
             (args.out / f"{name}.json").write_text(
                 json.dumps(payload, indent=2, sort_keys=True) + "\n"
             )
+    print(telemetry.summary(), file=sys.stderr, flush=True)
+    if args.out is not None:
+        (args.out / "telemetry.json").write_text(
+            json.dumps(telemetry.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
     return 0
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.experiments.npb_common import run_cell
 from repro.experiments.setups import Config
 from repro.metrics.report import Table
+from repro.parallel import CellSpec, ParallelExecutor, get_default_executor
 
 
 @dataclass
@@ -67,19 +68,49 @@ class VarianceResult:
         return "\n".join(lines)
 
 
+def cells(
+    app: str = "cg",
+    spincount: int = 30_000_000_000,
+    seeds: tuple[int, ...] = (3, 4, 5),
+    vcpus: int = 4,
+    work_scale: float = 1.0,
+) -> list[CellSpec]:
+    return [
+        CellSpec(
+            experiment="variance",
+            name=f"{app}/seed={seed}/{config.value}",
+            fn=run_cell,
+            kwargs=dict(
+                app_name=app,
+                vcpus=vcpus,
+                spincount=spincount,
+                config=config,
+                seed=seed,
+                work_scale=work_scale,
+            ),
+        )
+        for seed in seeds
+        for config in (Config.VANILLA, Config.VSCALE)
+    ]
+
+
 def run(
     app: str = "cg",
     spincount: int = 30_000_000_000,
     seeds: tuple[int, ...] = (3, 4, 5),
     vcpus: int = 4,
     work_scale: float = 1.0,
+    executor: ParallelExecutor | None = None,
 ) -> VarianceResult:
     """Run (vanilla, vScale) for each seed and collect the distribution."""
     if len(seeds) < 2:
         raise ValueError("variance needs at least two seeds")
+    if executor is None:
+        executor = get_default_executor()
     result = VarianceResult(app=app, spincount=spincount, seeds=list(seeds))
-    for seed in seeds:
-        vanilla = run_cell(app, vcpus, spincount, Config.VANILLA, seed, work_scale)
-        vscale = run_cell(app, vcpus, spincount, Config.VSCALE, seed, work_scale)
+    specs = cells(app, spincount, seeds, vcpus, work_scale)
+    outcomes = executor.run_cells(specs)
+    for index, seed in enumerate(seeds):
+        vanilla, vscale = outcomes[2 * index], outcomes[2 * index + 1]
         result.durations[seed] = (vanilla.duration_ns, vscale.duration_ns)
     return result

@@ -1,0 +1,188 @@
+"""Process-pool executor for grid-shaped experiments.
+
+Every headline figure is a grid of fully independent simulation cells —
+(app x config x spincount x seed) — and each cell is a deterministic
+function of its parameters.  The executor decomposes a grid into
+:class:`CellSpec`s, runs the misses concurrently across worker
+processes, serves prior results from the content-addressed
+:class:`~repro.parallel.cache.ResultCache`, and reassembles everything
+in submission order, so parallel and serial execution are bit-for-bit
+identical (``tests/experiments/test_determinism.py`` enforces this).
+
+Environment knobs (read by :func:`get_default_executor`):
+
+``REPRO_JOBS``
+    Worker-process count; defaults to ``os.cpu_count()``.  ``1`` runs
+    cells inline in the calling process.
+``REPRO_CACHE``
+    ``1``/``on`` enables the on-disk result cache for library calls;
+    ``0``/``off`` disables it even when ``REPRO_CACHE_DIR`` is set.
+    (The CLI runner enables the cache by default; see ``--no-cache``.)
+``REPRO_CACHE_DIR``
+    Cache location; defaults to ``$XDG_CACHE_HOME/repro-vscale`` (or
+    ``~/.cache/repro-vscale``).  Setting it implies ``REPRO_CACHE=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.parallel.cache import MISS, ResultCache, cell_key
+from repro.parallel.telemetry import CellRecord, Telemetry
+
+ENV_JOBS = "REPRO_JOBS"
+ENV_CACHE = "REPRO_CACHE"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_FALSY = {"0", "off", "false", "no"}
+_TRUTHY = {"1", "on", "true", "yes"}
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment."""
+    explicit = os.environ.get(ENV_CACHE_DIR)
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-vscale"
+
+
+def jobs_from_env() -> int:
+    raw = os.environ.get(ENV_JOBS, "").strip()
+    if raw:
+        return max(1, int(raw))
+    return os.cpu_count() or 1
+
+
+def cache_from_env() -> ResultCache | None:
+    """Build the cache the environment asks for (None when disabled)."""
+    flag = os.environ.get(ENV_CACHE, "").strip().lower()
+    if flag in _FALSY:
+        return None
+    if flag in _TRUTHY or os.environ.get(ENV_CACHE_DIR):
+        return ResultCache(default_cache_dir())
+    return None
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One named, independently-runnable cell of an experiment grid.
+
+    ``fn`` must be a module-level callable (picklable by reference) and
+    ``kwargs`` must contain everything that determines the result —
+    including the seed and work scale — since they form the cache key.
+    """
+
+    experiment: str
+    name: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def key(self) -> str:
+        return cell_key(self.experiment, self.fn, dict(self.kwargs))
+
+
+def _invoke(payload: tuple[int, Callable, dict]) -> tuple[int, Any, float, float]:
+    """Worker-side cell execution (top-level, hence picklable)."""
+    index, fn, kwargs = payload
+    started = time.time()
+    value = fn(**kwargs)
+    return index, value, started, time.time()
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits imports); fall back to the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelExecutor:
+    """Runs cell grids across a process pool with result memoization."""
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else jobs_from_env())
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    def run_cells(self, specs: Iterable[CellSpec]) -> list[Any]:
+        """Run every cell, in order; cached cells are not re-executed."""
+        specs = list(specs)
+        results: list[Any] = [None] * len(specs)
+        keys: dict[int, str] = {}
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                key = keys[index] = spec.key()
+                value = self.cache.get(key)
+                if value is not MISS:
+                    now = time.time()
+                    results[index] = value
+                    self.telemetry.record(
+                        CellRecord(spec.experiment, spec.name, now, now, True)
+                    )
+                    continue
+            pending.append(index)
+
+        if pending:
+            payloads = [
+                (index, specs[index].fn, dict(specs[index].kwargs))
+                for index in pending
+            ]
+            if self.jobs == 1 or len(pending) == 1:
+                outcomes: Iterable = map(_invoke, payloads)
+                self._collect(specs, keys, results, outcomes)
+            else:
+                workers = min(self.jobs, len(pending))
+                with _pool_context().Pool(processes=workers) as pool:
+                    self._collect(
+                        specs, keys, results, pool.imap_unordered(_invoke, payloads)
+                    )
+        return results
+
+    def run_cell(self, spec: CellSpec) -> Any:
+        """Convenience wrapper for a single cell."""
+        return self.run_cells([spec])[0]
+
+    def _collect(
+        self,
+        specs: Sequence[CellSpec],
+        keys: Mapping[int, str],
+        results: list[Any],
+        outcomes: Iterable[tuple[int, Any, float, float]],
+    ) -> None:
+        for index, value, started, finished in outcomes:
+            spec = specs[index]
+            results[index] = value
+            if self.cache is not None:
+                self.cache.put(keys[index], value)
+            self.telemetry.record(
+                CellRecord(spec.experiment, spec.name, started, finished, False)
+            )
+
+
+_DEFAULT: ParallelExecutor | None = None
+
+
+def get_default_executor() -> ParallelExecutor:
+    """The process-wide executor used when callers don't pass their own.
+
+    Configured from the environment on first use; its telemetry
+    aggregates across every experiment run in the process (the benchmark
+    suite prints it at session end).
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ParallelExecutor(jobs=jobs_from_env(), cache=cache_from_env())
+    return _DEFAULT

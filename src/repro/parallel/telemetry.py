@@ -1,0 +1,82 @@
+"""Per-cell execution telemetry for the parallel executor.
+
+The executor records one :class:`CellRecord` per cell — wall-clock start
+and stop timestamps plus whether the cell was served from cache — and
+keeps running hit/miss counters.  The runner prints the per-cell lines
+and the final summary on stderr so the deterministic report text on
+stdout stays byte-identical between serial, parallel, cold-cache, and
+warm-cache runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CellRecord:
+    experiment: str
+    cell: str
+    #: Wall-clock epoch seconds; for cache hits both stamps mark the lookup.
+    started: float
+    finished: float
+    cache_hit: bool
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished - self.started
+
+    def render(self) -> str:
+        status = "hit " if self.cache_hit else "run "
+        return f"[cell] {status} {self.experiment:10s} {self.cell:40s} {self.duration_s:7.2f}s"
+
+
+@dataclass
+class Telemetry:
+    records: list[CellRecord] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+
+    def record(self, record: CellRecord) -> None:
+        self.records.append(record)
+        if record.cache_hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def mark(self) -> int:
+        """Bookmark the current record count (for per-experiment slices)."""
+        return len(self.records)
+
+    def executed_seconds(self, since: int = 0) -> float:
+        """Total wall-clock seconds spent actually running cells."""
+        return sum(
+            r.duration_s for r in self.records[since:] if not r.cache_hit
+        )
+
+    def render_cells(self, since: int = 0) -> str:
+        return "\n".join(r.render() for r in self.records[since:])
+
+    def summary(self) -> str:
+        return (
+            f"[telemetry] cells={len(self.records)} hits={self.hits} "
+            f"misses={self.misses} executed={self.executed_seconds():.1f}s"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "executed_seconds": self.executed_seconds(),
+            "cells": [
+                {
+                    "experiment": r.experiment,
+                    "cell": r.cell,
+                    "started": r.started,
+                    "finished": r.finished,
+                    "duration_s": r.duration_s,
+                    "cache_hit": r.cache_hit,
+                }
+                for r in self.records
+            ],
+        }

@@ -1,0 +1,31 @@
+"""Module-level cell functions for the executor tests.
+
+The executor pickles cell functions by reference into worker processes,
+so test cells must live in an importable module rather than inside test
+bodies.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def square_with_marker(x: int, marker_dir: str) -> int:
+    """Like :func:`square`, but leaves one file per actual execution."""
+    path = Path(marker_dir) / f"{x}-{os.getpid()}-{os.urandom(4).hex()}"
+    path.write_text(str(x))
+    return x * x
+
+
+def pid_tag(x: int) -> tuple[int, int]:
+    """Return the input plus the executing process id."""
+    return x, os.getpid()
+
+
+def boom(x: int) -> int:
+    raise RuntimeError(f"cell {x} failed")
