@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults.errors import FreezeFailure
 from repro.hypervisor.irq import IRQClass
 from repro.metrics.collectors import LatencyReservoir
 from repro.sim.rng import jittered
@@ -42,6 +43,19 @@ class BalancerCosts:
     group_power_ns: int = 120      # (4) update sched domain/group power
     hypercall_ns: int = 220        # (5) SCHEDOP_freezecpu
     ipi_send_ns: int = 980         # (6) send the reschedule IPI
+
+    def __post_init__(self) -> None:
+        for name in (
+            "syscall_ns",
+            "lock_ns",
+            "mask_ns",
+            "group_power_ns",
+            "hypercall_ns",
+            "ipi_send_ns",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
 
     @property
     def total_ns(self) -> int:
@@ -99,6 +113,8 @@ class VScaleBalancer:
         self.master_latency = LatencyReservoir()
         self.freezes = 0
         self.unfreezes = 0
+        #: Injected transient syscall failures (fault experiments only).
+        self.failed_ops = 0
 
     # ------------------------------------------------------------------
     def frozen_set(self) -> set[int]:
@@ -121,6 +137,13 @@ class VScaleBalancer:
         if index in kernel.cpu_freeze_mask:
             raise ValueError(f"vCPU {index} already frozen")
         cost = self._master_cost()
+        faults = kernel.machine.faults
+        if faults is not None and faults.freeze_fault():
+            # The syscall ran and failed before touching any state: the
+            # master still paid for it.
+            self._charge_master(cost)
+            self.failed_ops += 1
+            raise FreezeFailure("freeze", index, cost)
         vcpu = kernel.domain.vcpus[index]
         # (1)+(2) syscall + lock are pure cost; (3) flip the mask:
         kernel.cpu_freeze_mask.add(index)
@@ -152,6 +175,11 @@ class VScaleBalancer:
         if index not in kernel.cpu_freeze_mask:
             raise ValueError(f"vCPU {index} is not frozen")
         cost = self._master_cost()
+        faults = kernel.machine.faults
+        if faults is not None and faults.freeze_fault():
+            self._charge_master(cost)
+            self.failed_ops += 1
+            raise FreezeFailure("unfreeze", index, cost)
         vcpu = kernel.domain.vcpus[index]
         kernel.cpu_freeze_mask.discard(index)
         kernel.machine.hyp_unfreeze_vcpu(vcpu)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.faults.errors import ChannelReadError
 from repro.guest.actions import BlockOn, Compute, SpinFlag
 from repro.guest.hotplug import HotplugMechanism, HotplugModel
 from repro.units import MS
@@ -150,6 +151,7 @@ class HotplugScaler:
         self.period_ns = period_ns
         self.min_vcpus = min_vcpus
         self.reconfigurations = 0
+        self.read_failures = 0
         self.thread = None
 
     def install(self):
@@ -168,7 +170,13 @@ class HotplugScaler:
             yield BlockOn(timer)
             if self.mechanism.busy:
                 continue
-            _ext, n_opt, cost = self.channel.read()
+            try:
+                _ext, n_opt, cost = self.channel.read()
+            except ChannelReadError as exc:
+                # Naive handling (no retry): skip the period entirely.
+                self.read_failures += 1
+                yield Compute(exc.cost_ns)
+                continue
             yield Compute(cost)
             total = len(kernel.runqueues)
             target = max(self.min_vcpus, min(n_opt, total))

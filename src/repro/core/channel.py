@@ -18,11 +18,13 @@ daemon's polling both *reports* and *spends* them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults.errors import ChannelReadError
 from repro.metrics.collectors import LatencyReservoir
 from repro.sim.rng import jittered
 
@@ -37,9 +39,30 @@ class ChannelCosts:
     syscall_ns: int = 690
     hypercall_ns: int = 220
 
+    def __post_init__(self) -> None:
+        if self.syscall_ns <= 0:
+            raise ValueError(f"syscall_ns must be positive, got {self.syscall_ns}")
+        if self.hypercall_ns <= 0:
+            raise ValueError(f"hypercall_ns must be positive, got {self.hypercall_ns}")
+
     @property
     def total_ns(self) -> int:
         return self.syscall_ns + self.hypercall_ns
+
+
+@dataclass(frozen=True)
+class ChannelReading:
+    """One channel read's result, with provenance for the staleness guard."""
+
+    extendability_ns: int
+    n_opt: int
+    #: CPU cost of the read itself (syscall + hypercall, jittered).
+    cost_ns: int
+    #: When the hypervisor published the returned values (sim ns); None
+    #: before the first ticker run.
+    published_at_ns: int | None
+    #: True when fault injection served an out-of-date snapshot.
+    stale: bool = False
 
 
 class VScaleChannel:
@@ -56,6 +79,12 @@ class VScaleChannel:
         self.rng = rng or domain.machine.seeds.generator(f"channel.{domain.name}")
         self.reads = 0
         self.read_latency = LatencyReservoir()
+        self.failed_reads = 0
+        self.stale_reads = 0
+        #: Recent successful readings; stale-read injection replays the
+        #: oldest one, modelling a racing ticker/read pair that returns
+        #: the previous period's snapshot.
+        self._history: deque[ChannelReading] = deque(maxlen=8)
 
     def read(self) -> tuple[int, int, int]:
         """One sys_getvscaleinfo: returns (extendability_ns, n_opt, cost_ns).
@@ -64,13 +93,45 @@ class VScaleChannel:
         charging ``cost_ns`` as compute time; the channel records it for
         the Table 1 benchmark.
         """
-        extendability_ns, n_opt = self.domain.machine.hyp_read_extendability(self.domain)
+        reading = self.read_info()
+        return reading.extendability_ns, reading.n_opt, reading.cost_ns
+
+    def read_info(self) -> ChannelReading:
+        """One read, with publish-time provenance.
+
+        With a fault injector installed the read can fail (raising
+        :class:`ChannelReadError` after charging the cost) or return a
+        stale snapshot from the recent-read history.
+        """
+        machine = self.domain.machine
         cost = jittered(self.rng, self.costs.syscall_ns, 0.06) + jittered(
             self.rng, self.costs.hypercall_ns, 0.08
         )
         self.reads += 1
         self.read_latency.record(cost)
-        return extendability_ns, n_opt, cost
+        fate = None if machine.faults is None else machine.faults.channel_fault()
+        if fate == "fail":
+            self.failed_reads += 1
+            raise ChannelReadError(self.domain.name, cost)
+        if fate == "stale" and self._history:
+            self.stale_reads += 1
+            oldest = self._history[0]
+            return ChannelReading(
+                extendability_ns=oldest.extendability_ns,
+                n_opt=oldest.n_opt,
+                cost_ns=cost,
+                published_at_ns=oldest.published_at_ns,
+                stale=True,
+            )
+        extendability_ns, n_opt = machine.hyp_read_extendability(self.domain)
+        reading = ChannelReading(
+            extendability_ns=extendability_ns,
+            n_opt=n_opt,
+            cost_ns=cost,
+            published_at_ns=self.domain.extendability_published_ns,
+        )
+        self._history.append(reading)
+        return reading
 
     def measure_components(self, iterations: int) -> dict[str, float]:
         """Micro-benchmark the two components, as Table 1 does (1 M runs)."""

@@ -13,13 +13,14 @@ assume a fixed processor count can disable it (``enabled=False`` or
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.balancer import VScaleBalancer
 from repro.core.channel import VScaleChannel
+from repro.faults.errors import ChannelReadError, FreezeFailure
 from repro.guest.actions import BlockOn, Compute, SpinFlag
-from repro.units import MS
+from repro.units import MS, US
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.guest.kernel import GuestKernel
@@ -55,6 +56,68 @@ class DaemonConfig:
     #: conservative policy adds the extra vCPU.
     partial_threshold: float = 0.8
 
+    # -- graceful-degradation knobs (all off by default: the happy-path
+    #    daemon behaves exactly as before; fault experiments enable them
+    #    via :meth:`hardened`). ------------------------------------------
+    #: Extra attempts after a failed channel read before giving up on the
+    #: period (the read itself is attempt 0).
+    max_read_retries: int = 2
+    #: Base backoff spent between read retries; doubles per attempt.
+    retry_backoff_ns: int = 50 * US
+    #: Ignore readings whose publish timestamp is older than this and hold
+    #: the last-known-good vCPU count instead.  0 disables the guard.
+    staleness_limit_ns: int = 0
+    #: Minimum time between direction reversals (grow→shrink or back).
+    #: A reversal arriving sooner is suppressed.  0 disables hysteresis.
+    dwell_ns: int = 0
+    #: Declare a missed period when the daemon wakes more than this many
+    #: periods late, and resynchronize the timer.  0 disables the watchdog.
+    watchdog_slack_periods: float = 0.0
+
+    @classmethod
+    def hardened(cls, **overrides) -> "DaemonConfig":
+        """The degradation-enabled profile used by the fault experiments:
+        staleness guard at 5 periods, half-period dwell, watchdog at 1.5
+        periods of slack."""
+        base = cls(**overrides)
+        params = asdict(base)
+        if base.staleness_limit_ns == 0:
+            params["staleness_limit_ns"] = 5 * base.period_ns
+        if base.dwell_ns == 0:
+            params["dwell_ns"] = base.period_ns // 2
+        if base.watchdog_slack_periods == 0.0:
+            params["watchdog_slack_periods"] = 1.5
+        return cls(**params)
+
+
+@dataclass
+class DaemonStats:
+    """Control-loop health counters for the fault/stability reports."""
+
+    #: Channel reads that raised (before any retry accounting).
+    read_failures: int = 0
+    #: Retries actually performed after a failure.
+    read_retries: int = 0
+    #: Periods abandoned because every retry failed.
+    read_abandons: int = 0
+    #: Readings served stale by fault injection (observed, may still act).
+    stale_reads: int = 0
+    #: Periods where the staleness guard held the last-known-good count.
+    stale_holds: int = 0
+    #: Freeze/unfreeze syscalls that failed transiently.
+    reconfig_failures: int = 0
+    #: Direction reversals that happened (flap pressure indicator).
+    direction_flaps: int = 0
+    #: Reversals suppressed by the dwell-time hysteresis.
+    flaps_suppressed: int = 0
+    #: Whole periods the daemon detected it slept through.
+    missed_periods: int = 0
+    #: Watchdog firings (each one resynchronizes the timer).
+    watchdog_resyncs: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
 
 class VScaleDaemon:
     """Monitors extendability and reconfigures vCPUs through the balancer."""
@@ -74,6 +137,11 @@ class VScaleDaemon:
         self._shrink_votes = 0
         self.decisions = 0
         self.reconfigurations = 0
+        self.stats = DaemonStats()
+        #: Hysteresis state: direction of the last applied change (+1 grow,
+        #: -1 shrink) and when it was applied.
+        self._last_direction = 0
+        self._last_change_ns = 0
         #: (time_ns, online_vcpus) trace for Figure 8.
         self.trace: list[tuple[int, int]] = []
         self.thread: "Thread | None" = None
@@ -96,32 +164,93 @@ class VScaleDaemon:
 
     # ------------------------------------------------------------------
     def _behavior(self):
-        """The daemon loop as a thread behaviour."""
+        """The daemon loop as a thread behaviour.
+
+        The loop survives every injected fault: failed reads are retried
+        with exponential backoff and the period is abandoned (holding the
+        current vCPU count) when the retries run out; expired readings are
+        ignored by the staleness guard; failed freeze/unfreeze syscalls
+        abort the rest of the plan for the period; a watchdog detects
+        slept-through periods and resets the shrink-vote chain whose
+        observations are no longer consecutive.
+        """
         kernel = self.kernel
+        cfg = self.config
         while True:
+            armed_at = kernel.sim.now
+            delay = cfg.period_ns
+            faults = kernel.machine.faults
+            if faults is not None:
+                delay += faults.daemon_delay_ns(armed_at, cfg.period_ns)
             timer = SpinFlag("vscaled.timer")
-            kernel.start_timer(self.config.period_ns, timer)
+            kernel.start_timer(delay, timer)
             yield BlockOn(timer)
             if not self.enabled:
                 continue
-            extendability_ns, n_opt, read_cost = self.channel.read()
-            yield Compute(read_cost)
-            target = self._round_target(extendability_ns, n_opt)
+            if cfg.watchdog_slack_periods > 0.0:
+                late_ns = kernel.sim.now - armed_at - cfg.period_ns
+                if late_ns > cfg.watchdog_slack_periods * cfg.period_ns:
+                    self.stats.missed_periods += max(1, late_ns // cfg.period_ns)
+                    self.stats.watchdog_resyncs += 1
+                    self._shrink_votes = 0
+                    kernel.machine.tracer.emit(
+                        kernel.sim.now, "vscale", "watchdog_resync",
+                        kernel.domain.name, late_ns=late_ns,
+                    )
+            reading = None
+            for attempt in range(cfg.max_read_retries + 1):
+                try:
+                    reading = self.channel.read_info()
+                except ChannelReadError as exc:
+                    self.stats.read_failures += 1
+                    yield Compute(exc.cost_ns)
+                    if attempt < cfg.max_read_retries:
+                        self.stats.read_retries += 1
+                        yield Compute(cfg.retry_backoff_ns << attempt)
+                    continue
+                yield Compute(reading.cost_ns)
+                break
+            if reading is None:
+                # Every retry failed: degrade by holding the current count
+                # until next period rather than guessing.
+                self.stats.read_abandons += 1
+                continue
+            if reading.stale:
+                self.stats.stale_reads += 1
+            if (
+                cfg.staleness_limit_ns > 0
+                and reading.published_at_ns is not None
+                and kernel.sim.now - reading.published_at_ns > cfg.staleness_limit_ns
+            ):
+                # Expired data: hold the last-known-good vCPU count.
+                self.stats.stale_holds += 1
+                continue
+            target = self._round_target(reading.extendability_ns, reading.n_opt)
             steps = self._decide(target)
+            applied = 0
             for index, freeze in steps:
-                if freeze:
-                    self.balancer.freeze(index)
-                else:
-                    self.balancer.unfreeze(index)
+                try:
+                    if freeze:
+                        self.balancer.freeze(index)
+                    else:
+                        self.balancer.unfreeze(index)
+                except FreezeFailure:
+                    # Transient syscall failure: the master already paid
+                    # the cost; abandon the rest of the plan this period.
+                    self.stats.reconfig_failures += 1
+                    yield Compute(0)
+                    break
                 self.reconfigurations += 1
+                applied += 1
                 # The master-side cost was charged to rq0 by the balancer;
                 # yield a zero-compute so it is consumed before continuing.
                 yield Compute(0)
-            if steps:
+            if applied:
                 self.trace.append((kernel.sim.now, kernel.online_vcpus))
                 kernel.machine.tracer.emit(
                     kernel.sim.now, "vscale", "decision", kernel.domain.name,
-                    online=kernel.online_vcpus, extendability_ns=extendability_ns,
+                    online=kernel.online_vcpus,
+                    extendability_ns=reading.extendability_ns,
                 )
 
     def _round_target(self, extendability_ns: int, n_opt: int) -> int:
@@ -162,6 +291,19 @@ class VScaleDaemon:
             self._shrink_votes = 0
         if target == online:
             return []
+        direction = 1 if target > online else -1
+        if self._last_direction != 0 and direction != self._last_direction:
+            if (
+                self.config.dwell_ns > 0
+                and kernel.sim.now - self._last_change_ns < self.config.dwell_ns
+            ):
+                # Dwell-time hysteresis: a reversal this soon after the
+                # last change is flapping, not a real demand shift.
+                self.stats.flaps_suppressed += 1
+                return []
+            self.stats.direction_flaps += 1
+        self._last_direction = direction
+        self._last_change_ns = kernel.sim.now
         steps: list[tuple[int, bool]] = []
         if target > online:
             frozen = sorted(kernel.cpu_freeze_mask)

@@ -257,6 +257,7 @@ class VScaleExtension:
             if len(domain.vcpus) > 1:  # UP-VMs are omitted (no room to scale)
                 domain.extendability_ns = result.extendability_ns
                 domain.optimal_vcpus = result.optimal_vcpus
+                domain.extendability_published_ns = now
         self.last_results = results
         return results
 

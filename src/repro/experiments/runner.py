@@ -161,6 +161,12 @@ def _ablations(scale: float, executor: ParallelExecutor):
     return ablations.run_all(work_scale=max(0.05, 0.5 * scale), executor=executor)
 
 
+def _faults(scale: float, executor: ParallelExecutor):
+    from repro.experiments import faults
+
+    return faults.run(work_scale=scale, executor=executor)
+
+
 #: name -> (description, fn(scale, executor) -> result object(s)).  The
 #: functions return renderable result objects (or lists of them), never
 #: pre-rendered strings.
@@ -181,6 +187,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[float, ParallelExecutor], object]]] 
     "fig14": ("Apache under httperf", _fig14),
     "variance": ("seed-variance error bars (cg)", _variance),
     "ablations": ("design-choice ablations", _ablations),
+    "faults": ("fault-rate x workload robustness matrix", _faults),
 }
 
 

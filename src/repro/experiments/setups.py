@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.core.daemon import DaemonConfig, VScaleDaemon
+from repro.faults import FaultPlan
 from repro.guest.kernel import GuestConfig, GuestKernel
 from repro.guest.sync import KernelSpinLock
 from repro.hypervisor.config import HostConfig
@@ -79,6 +80,7 @@ class ScenarioBuilder:
         self.config = Config.VANILLA
         self.daemon_config: DaemonConfig | None = None
         self.slideshow_config: SlideshowConfig | None = None
+        self.fault_plan: FaultPlan | None = None
         self.consolidation = 2.0  # average vCPUs per pCPU
 
     # -- fluent knobs ---------------------------------------------------
@@ -98,6 +100,10 @@ class ScenarioBuilder:
         self.consolidation = ratio
         return self
 
+    def with_faults(self, plan: FaultPlan | None) -> "ScenarioBuilder":
+        self.fault_plan = plan
+        return self
+
     # -- build -----------------------------------------------------------
     def _background_count(self) -> int:
         if self.background_vms is not None:
@@ -110,6 +116,8 @@ class ScenarioBuilder:
         seeds = SeedSequenceFactory(self.seed)
         host = HostConfig(pcpus=self.pcpus, scheduler=self.scheduler)
         machine = Machine(host, seed=self.seed)
+        if self.fault_plan is not None and self.fault_plan.active:
+            machine.install_faults(self.fault_plan)
 
         # Weights: "so that all vCPUs are treated equally" — per-VM weight
         # proportional to the provisioned vCPU count.

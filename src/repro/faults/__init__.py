@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the vScale reproduction.
+
+See DESIGN.md ("Fault model and graceful degradation") for the contract:
+with no plan installed the simulation is bit-for-bit identical to a
+build without this package; with a plan, every fault decision derives
+from the plan seed and the same run replays exactly.
+"""
+
+from repro.faults.errors import ChannelReadError, FaultError, FreezeFailure
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import NO_FAULTS, FaultConfig, FaultEvent, FaultPlan
+
+__all__ = [
+    "ChannelReadError",
+    "FaultError",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FreezeFailure",
+    "NO_FAULTS",
+]

@@ -1,0 +1,40 @@
+"""Failure types raised by fault-injected components.
+
+These exceptions only ever fire when a :class:`~repro.faults.injector.
+FaultInjector` is installed on the machine: the happy path never pays for
+them.  They carry the simulated cost of the failed operation so callers
+can charge the wasted time before retrying or degrading.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for injected transient failures."""
+
+
+class ChannelReadError(FaultError):
+    """A ``sys_getvscaleinfo`` call failed (injected transient error).
+
+    Models an -EAGAIN from the syscall/hypercall pair: the caller spent
+    ``cost_ns`` of CPU and got nothing back.
+    """
+
+    def __init__(self, domain: str, cost_ns: int):
+        super().__init__(f"vScale channel read failed for {domain}")
+        self.domain = domain
+        self.cost_ns = cost_ns
+
+
+class FreezeFailure(FaultError):
+    """A ``sys_freezecpu``/``sys_unfreezecpu`` call failed transiently.
+
+    The master-side cost was already charged to vCPU0 (the syscall ran and
+    failed); no guest or hypervisor state changed.
+    """
+
+    def __init__(self, op: str, vcpu: int, cost_ns: int):
+        super().__init__(f"{op} of vCPU {vcpu} failed transiently")
+        self.op = op
+        self.vcpu = vcpu
+        self.cost_ns = cost_ns

@@ -1,0 +1,183 @@
+"""The fault injector: turns a :class:`FaultPlan` into runtime decisions.
+
+One injector is installed per :class:`~repro.hypervisor.machine.Machine`
+(``machine.install_faults(plan)``) and consulted from the fault sites:
+
+* ``Machine.hyp_send_ipi`` — lost/delayed reschedule IPIs;
+* ``VScaleChannel.read_info`` — failed or stale extendability reads;
+* ``VScaleDaemon._behavior`` — wakeup jitter and multi-period stalls;
+* ``VScaleBalancer.freeze/unfreeze`` — transient syscall failures;
+* ``Dom0Toolstack.sample_read_all_ns`` — overload bursts.
+
+Every site draws from its own named stream derived from the *plan* seed
+(not the machine seed), so fault decisions never perturb the workload's
+randomness and the same plan replays the same fault sequence exactly.
+All decisions are made lazily at query time; a site whose rate is zero
+performs no RNG draw at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.hypervisor.irq import IRQClass
+from repro.sim.rng import SeedSequenceFactory
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, for reports and stability checks."""
+
+    ipis_dropped: int = 0
+    ipis_delayed: int = 0
+    #: Delayed IPIs that found their target frozen on arrival and were
+    #: discarded (delivering them would be a correctness bug).
+    ipis_dropped_late: int = 0
+    channel_failures: int = 0
+    channel_stale_reads: int = 0
+    daemon_jitters: int = 0
+    daemon_stalls: int = 0
+    freeze_failures: int = 0
+    dom0_bursts: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return (
+            self.ipis_dropped
+            + self.ipis_delayed
+            + self.channel_failures
+            + self.channel_stale_reads
+            + self.daemon_jitters
+            + self.daemon_stalls
+            + self.freeze_failures
+            + self.dom0_bursts
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class _ScriptedState:
+    """Mutable tracking of which scripted events already fired."""
+
+    consumed: set = field(default_factory=set)
+
+
+class FaultInjector:
+    """Stateful decision oracle for one machine's fault plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.config = plan.config
+        self.stats = FaultStats()
+        self._seeds = SeedSequenceFactory(plan.seed)
+        self._scripted = _ScriptedState()
+
+    # ------------------------------------------------------------------
+    # Decision primitives
+    # ------------------------------------------------------------------
+    def _hit(self, site: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return bool(self._seeds.generator(f"faults.{site}").random() < rate)
+
+    def _sample_delay(self, site: str, mean_ns: int) -> int:
+        return max(1, round(self._seeds.generator(f"faults.{site}").exponential(mean_ns)))
+
+    def _take_scripted(self, site: str, window_start: int, window_end: int) -> FaultEvent | None:
+        """Consume the first unfired scripted event of ``site`` whose start
+        falls inside ``[window_start, window_end)``."""
+        for index, event in enumerate(self.plan.events):
+            if index in self._scripted.consumed or event.site != site:
+                continue
+            if window_start <= event.at_ns < window_end:
+                self._scripted.consumed.add(index)
+                return event
+            if event.at_ns >= window_end:
+                break
+        return None
+
+    def _active_window(self, site: str, now_ns: int) -> FaultEvent | None:
+        """The scripted window of ``site`` covering ``now_ns``, if any."""
+        for event in self.plan.events:
+            if event.site != site:
+                continue
+            if event.at_ns <= now_ns < event.at_ns + max(1, event.duration_ns):
+                return event
+            if event.at_ns > now_ns:
+                break
+        return None
+
+    # ------------------------------------------------------------------
+    # Fault sites
+    # ------------------------------------------------------------------
+    def ipi_fault(self, irq_class: IRQClass) -> tuple[str, int] | None:
+        """Decide the fate of one IPI send: None, ("drop", 0), ("delay", ns).
+
+        Only reschedule IPIs are targeted — they ride Xen's event-channel
+        upcall path, the lossy/delayable link; function-call IPIs are the
+        rare shutdown path and are left alone.
+        """
+        if irq_class is not IRQClass.RESCHED_IPI:
+            return None
+        if self._hit("ipi.drop", self.config.ipi_drop_rate):
+            self.stats.ipis_dropped += 1
+            return ("drop", 0)
+        if self._hit("ipi.delay", self.config.ipi_delay_rate):
+            delay = self._sample_delay("ipi.delay_ns", self.config.ipi_delay_mean_ns)
+            self.stats.ipis_delayed += 1
+            return ("delay", delay)
+        return None
+
+    def note_late_drop(self) -> None:
+        """A delayed IPI arrived at a frozen target and was discarded."""
+        self.stats.ipis_dropped_late += 1
+
+    def channel_fault(self) -> str | None:
+        """Decide the fate of one channel read: None, "fail", or "stale"."""
+        if self._hit("channel.fail", self.config.channel_fail_rate):
+            self.stats.channel_failures += 1
+            return "fail"
+        if self._hit("channel.stale", self.config.channel_stale_rate):
+            self.stats.channel_stale_reads += 1
+            return "stale"
+        return None
+
+    def daemon_delay_ns(self, now_ns: int, period_ns: int) -> int:
+        """Extra delay to add to the daemon's next wakeup timer."""
+        extra = 0
+        scripted = self._take_scripted("daemon_stall", now_ns, now_ns + period_ns)
+        if scripted is not None:
+            periods = max(1.0, scripted.magnitude)
+            extra += scripted.duration_ns or round(periods * period_ns)
+            self.stats.daemon_stalls += 1
+        if self._hit("daemon.stall", self.config.daemon_stall_rate):
+            extra += self.config.daemon_stall_periods * period_ns
+            self.stats.daemon_stalls += 1
+        elif self._hit("daemon.jitter", self.config.daemon_jitter_rate):
+            extra += self._sample_delay(
+                "daemon.jitter_ns", self.config.daemon_jitter_mean_ns
+            )
+            self.stats.daemon_jitters += 1
+        return extra
+
+    def freeze_fault(self) -> bool:
+        """Whether one freeze/unfreeze syscall fails transiently."""
+        if self._hit("freeze.fail", self.config.freeze_fail_rate):
+            self.stats.freeze_failures += 1
+            return True
+        return False
+
+    def dom0_factor(self, now_ns: int | None = None) -> float:
+        """Latency multiplier for one dom0/libxl sweep (1.0 = no burst)."""
+        if now_ns is not None:
+            scripted = self._take_scripted("dom0_burst", now_ns, now_ns + 1)
+            if scripted is not None:
+                self.stats.dom0_bursts += 1
+                return max(1.0, scripted.magnitude)
+        if self._hit("dom0.burst", self.config.dom0_burst_rate):
+            self.stats.dom0_bursts += 1
+            return self.config.dom0_burst_factor
+        return 1.0

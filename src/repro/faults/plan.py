@@ -1,0 +1,177 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is the complete, seedable description of what can go
+wrong during a run: per-site stochastic fault *rates* (each fault site
+draws from its own named RNG stream derived from the plan seed) plus an
+optional list of *scripted* :class:`FaultEvent` windows for scenarios
+that need faults at exact instants.  Because the simulation itself is
+deterministic, the same plan against the same scenario produces the same
+fault sequence — and therefore the same traces and reports — bit for
+bit, which is what keeps the fault experiments cacheable and the
+determinism tests meaningful.
+
+Plans are plain frozen dataclasses so they canonicalize cleanly into the
+parallel executor's cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.units import MS, US
+
+_RATE_FIELDS = (
+    "ipi_drop_rate",
+    "ipi_delay_rate",
+    "channel_fail_rate",
+    "channel_stale_rate",
+    "daemon_jitter_rate",
+    "daemon_stall_rate",
+    "freeze_fail_rate",
+    "dom0_burst_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-site stochastic fault rates and magnitudes.
+
+    All rates are per-opportunity probabilities in ``[0, 1]`` — e.g.
+    ``ipi_drop_rate`` applies to every reschedule IPI send, and
+    ``channel_fail_rate`` to every channel read.  The zero config (the
+    default) injects nothing and changes nothing.
+    """
+
+    #: Probability a reschedule IPI is lost entirely (guest-visible
+    #: interrupt dropped; the hypervisor-side wake of a blocked target
+    #: still happens, matching Xen's evtchn pending-bit semantics).
+    ipi_drop_rate: float = 0.0
+    #: Probability a reschedule IPI is delayed instead of delivered.
+    ipi_delay_rate: float = 0.0
+    #: Mean of the (exponential) injected IPI delay.
+    ipi_delay_mean_ns: int = 200 * US
+    #: Probability one channel read fails with :class:`ChannelReadError`.
+    channel_fail_rate: float = 0.0
+    #: Probability one channel read returns stale extendability data.
+    channel_stale_rate: float = 0.0
+    #: Probability a daemon wakeup is jittered late.
+    daemon_jitter_rate: float = 0.0
+    #: Mean of the (exponential) injected wakeup jitter.
+    daemon_jitter_mean_ns: int = 2 * MS
+    #: Probability a daemon wakeup stalls for multiple whole periods.
+    daemon_stall_rate: float = 0.0
+    #: Length of an injected stall, in polling periods.
+    daemon_stall_periods: int = 4
+    #: Probability a freeze/unfreeze syscall fails transiently.
+    freeze_fail_rate: float = 0.0
+    #: Probability one dom0/libxl sweep lands in an overload burst.
+    dom0_burst_rate: float = 0.0
+    #: Latency multiplier applied to a bursting dom0 sweep.
+    dom0_burst_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.ipi_delay_mean_ns <= 0:
+            raise ValueError("ipi_delay_mean_ns must be positive")
+        if self.daemon_jitter_mean_ns <= 0:
+            raise ValueError("daemon_jitter_mean_ns must be positive")
+        if self.daemon_stall_periods < 1:
+            raise ValueError("daemon_stall_periods must be at least 1")
+        if self.dom0_burst_factor < 1.0:
+            raise ValueError("dom0_burst_factor must be at least 1.0")
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one fault site has a nonzero rate."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    @classmethod
+    def scaled(cls, rate: float, **overrides) -> "FaultConfig":
+        """The uniform profile used by the fault-matrix experiment.
+
+        One knob drives every site: per-event sites take ``rate``
+        directly, while the heavy whole-period faults (IPI loss, daemon
+        stalls) are derated so a 10% matrix point stresses the loop
+        without starving it outright.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        base = dict(
+            ipi_drop_rate=rate * 0.5,
+            ipi_delay_rate=rate,
+            channel_fail_rate=rate,
+            channel_stale_rate=rate,
+            daemon_jitter_rate=rate,
+            daemon_stall_rate=rate * 0.25,
+            freeze_fail_rate=rate,
+            dom0_burst_rate=rate,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    def describe(self) -> str:
+        """Short ``site=rate`` summary of the enabled sites."""
+        parts = [
+            f"{name.removesuffix('_rate')}={getattr(self, name):g}"
+            for name in _RATE_FIELDS
+            if getattr(self, name) > 0.0
+        ]
+        return ", ".join(parts) if parts else "no faults"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A scripted fault window, for scenarios that need exact timing.
+
+    Scripted events complement the stochastic rates: ``site`` names the
+    injection point (currently ``"daemon_stall"`` and ``"dom0_burst"``),
+    ``at_ns`` when the window opens, ``duration_ns`` how long it lasts,
+    and ``magnitude`` a site-specific strength (stall length in periods,
+    burst latency factor).  Each event fires at most once.
+    """
+
+    at_ns: int
+    site: str
+    duration_ns: int = 0
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ValueError("at_ns cannot be negative")
+        if self.duration_ns < 0:
+            raise ValueError("duration_ns cannot be negative")
+        if self.site not in ("daemon_stall", "dom0_burst"):
+            raise ValueError(f"unknown scripted fault site {self.site!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded fault schedule: stochastic rates + scripted events."""
+
+    config: FaultConfig = FaultConfig()
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize (sort by time) so equal plans hash/canonicalize equally.
+        ordered = tuple(sorted(self.events, key=lambda e: (e.at_ns, e.site)))
+        object.__setattr__(self, "events", ordered)
+
+    @property
+    def active(self) -> bool:
+        """True when the plan can inject anything at all."""
+        return self.config.any_enabled or bool(self.events)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+
+#: Convenience: the plan that injects nothing.
+NO_FAULTS = FaultPlan()
+
+
+def _field_names() -> list[str]:  # pragma: no cover - debugging aid
+    return [f.name for f in fields(FaultConfig)]

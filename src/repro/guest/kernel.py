@@ -543,6 +543,23 @@ class GuestKernel:
         self._tick_events[i] = None
         vcpu = self.domain.vcpus[i]
         if vcpu.state is VCPUState.FROZEN or i in self.cpu_freeze_mask:
+            if (
+                self.machine.faults is not None
+                and vcpu.state is not VCPUState.FROZEN
+                and self._executing[i]
+                and i not in self._freeze_migration
+            ):
+                # Recovery for a lost freeze IPI: the mask says "migrate
+                # away" but the kick never arrived.  Like mainline's
+                # scheduler noticing !cpu_active(cpu) on its own tick, the
+                # timer path starts the eviction — one tick late instead
+                # of never.
+                previous_context = self._context
+                self._context = i
+                try:
+                    self._start_freeze_migration(i)
+                finally:
+                    self._context = previous_context
             return  # frozen vCPUs are skipped (clocksource watchdog too)
         rq = self.runqueues[i]
         if rq.current is None and not rq.ready:

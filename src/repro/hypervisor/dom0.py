@@ -69,12 +69,16 @@ class Dom0Toolstack:
         rng: np.random.Generator,
         load: Dom0Load = Dom0Load.IDLE,
         costs: LibxlCosts | None = None,
+        faults=None,
     ):
         self.rng = rng
         self.load = load
         self.costs = costs or LibxlCosts()
+        #: Optional :class:`~repro.faults.FaultInjector` whose dom0-burst
+        #: site inflates individual sweeps (overload spikes).
+        self.faults = faults
 
-    def sample_read_all_ns(self, vm_count: int) -> int:
+    def sample_read_all_ns(self, vm_count: int, now_ns: int | None = None) -> int:
         """One libxl sweep over ``vm_count`` VMs."""
         if vm_count < 1:
             raise ValueError("need at least one VM to read")
@@ -92,7 +96,10 @@ class Dom0Toolstack:
             extra = self.rng.lognormal(
                 np.log(costs.net_extra_ns), costs.extra_sigma, size=vm_count
             ).sum()
-        return round(float(base + extra))
+        total = float(base + extra)
+        if self.faults is not None:
+            total *= self.faults.dom0_factor(now_ns)
+        return round(total)
 
     def measure(self, vm_count: int, iterations: int) -> dict[str, float]:
         """min/avg/max over ``iterations`` sweeps (Figure 4's error bars)."""

@@ -146,6 +146,9 @@ class Domain:
         #: of CPU per period, and the derived optimal vCPU count.
         self.extendability_ns: int | None = None
         self.optimal_vcpus: int | None = None
+        #: When the published values above were last refreshed (sim ns);
+        #: the daemon's staleness guard compares against this.
+        self.extendability_published_ns: int | None = None
         #: Cumulative consumption, for fairness tests.
         self.total_consumed_ns: int = 0
         #: Post-to-delivery latency distributions per IRQ class.

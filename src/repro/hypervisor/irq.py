@@ -50,6 +50,9 @@ class IRQ:
     post_time: int
     payload: object = None
     channel: "EventChannel | None" = None
+    #: Set by fault injection: "dropped" or "delayed" when the IPI was
+    #: tampered with on the way to the guest.  None on the happy path.
+    fault: str | None = None
     irq_id: int = field(default_factory=lambda: next(_irq_ids))
 
 

@@ -21,6 +21,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.extendability import VScaleExtension
+    from repro.faults import FaultInjector, FaultPlan
 
 
 class PCPU:
@@ -104,6 +105,10 @@ class Machine:
             self.scheduler = CreditScheduler(self)
         #: Optional vScale scheduler extension (set by install_vscale()).
         self.vscale: "VScaleExtension | None" = None
+        #: Optional fault injector (set by install_faults()).  Every fault
+        #: site checks this for None first, so the happy path costs one
+        #: attribute load and nothing else.
+        self.faults: "FaultInjector | None" = None
         # Insertion-ordered (dict, not set): iteration order must be
         # deterministic across runs for reproducibility.
         self._resched_pending: dict[PCPU, None] = {}
@@ -137,6 +142,18 @@ class Machine:
         if self.vscale is None:
             self.vscale = VScaleExtension(self)
         return self.vscale
+
+    def install_faults(self, plan: "FaultPlan") -> "FaultInjector":
+        """Install a fault injector driven by *plan*.
+
+        The injector draws from streams derived from the plan's own seed,
+        so the workload's RNG streams are untouched and a zero-rate plan
+        leaves the run bit-for-bit identical to no plan at all.
+        """
+        from repro.faults import FaultInjector
+
+        self.faults = FaultInjector(plan)
+        return self.faults
 
     def start(self) -> None:
         """Arm the scheduler and boot every domain's vCPU0.
@@ -310,12 +327,51 @@ class Machine:
         self.scheduler.vcpu_yield(vcpu)
 
     def hyp_send_ipi(self, src: VCPU, dst: VCPU, irq_class: IRQClass, payload: object = None) -> IRQ:
-        """Send a virtual IPI between two vCPUs of the same domain."""
+        """Send a virtual IPI between two vCPUs of the same domain.
+
+        With a fault injector installed, reschedule IPIs can be dropped or
+        delayed in flight.  A *dropped* IPI loses the guest-visible
+        interrupt only: if the target was blocked it is still woken,
+        matching Xen's event-channel model where the pending bit is set
+        even when the upcall is masked/lost — dropping the wake too would
+        deadlock a blocked target forever, which is not the failure mode
+        we are modelling.
+        """
         if src.domain is not dst.domain:
             raise ValueError("IPIs cannot cross domains")
         irq = IRQ(irq_class=irq_class, post_time=self.sim.now, payload=payload)
+        if self.faults is not None:
+            fate = self.faults.ipi_fault(irq_class)
+            if fate is not None:
+                kind, delay_ns = fate
+                irq.fault = "dropped" if kind == "drop" else "delayed"
+                self.tracer.emit(
+                    self.sim.now, "fault", f"ipi_{irq.fault}", dst.name,
+                    kind=irq_class.value,
+                )
+                if kind == "drop":
+                    if dst.state is VCPUState.BLOCKED:
+                        self.scheduler.vcpu_wake(dst)
+                    return irq
+                self.sim.schedule(delay_ns, self._post_faulted_irq, dst, irq)
+                return irq
         self.post_irq(dst, irq)
         return irq
+
+    def _post_faulted_irq(self, dst: VCPU, irq: IRQ) -> None:
+        """Deliver a delayed IPI, re-checking the target's state at arrival.
+
+        The target may have been frozen while the IPI was in flight; a
+        reschedule IPI to a frozen vCPU is illegal (post_irq asserts), so
+        the late arrival is discarded instead — exactly what Xen does when
+        the pending bit belongs to a channel bound to an offlined vCPU.
+        """
+        if dst.state is VCPUState.FROZEN and irq.irq_class is not IRQClass.CALL_IPI:
+            assert self.faults is not None
+            self.faults.note_late_drop()
+            self.tracer.emit(self.sim.now, "fault", "ipi_dropped_late", dst.name)
+            return
+        self.post_irq(dst, irq)
 
     def hyp_mark_freeze(self, vcpu: VCPU) -> None:
         """SCHEDOP_freezecpu: stop crediting this vCPU (Algorithm 2 step 3).

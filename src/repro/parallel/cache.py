@@ -13,6 +13,14 @@ Entries are pickles stored under a two-level fan-out
 (``<root>/<key[:2]>/<key>.pkl``) and written atomically (temp file +
 rename), so concurrent workers and concurrent runner invocations can
 share one cache directory safely.
+
+Each entry is a self-verifying container: a magic prefix, the SHA-256 of
+the payload, then the pickled payload.  :meth:`ResultCache.get` verifies
+the digest before unpickling; anything that fails — bad magic,
+truncation, digest mismatch, unpicklable payload — is moved into
+``<root>/quarantine/`` (preserved for forensics, never retried), logged
+in :attr:`ResultCache.corruption_log`, and reported as a MISS so the
+grid recomputes the cell instead of crashing.
 """
 
 from __future__ import annotations
@@ -109,39 +117,84 @@ def cell_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+#: Container prefix identifying the self-verifying entry format.
+MAGIC = b"reprocache2\n"
+_DIGEST_LEN = hashlib.sha256().digest_size
+
+
+class CorruptEntry(Exception):
+    """Internal: an entry failed container validation (reason in args)."""
+
+
 class ResultCache:
     """Pickle store addressed by :func:`cell_key` digests."""
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Keys whose entries were quarantined since the last drain.
+        self.corruption_log: list[str] = []
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Any:
-        """Return the cached value for ``key``, or :data:`MISS`."""
+        """Return the cached value for ``key``, or :data:`MISS`.
+
+        A corrupt or truncated entry is quarantined and treated as a
+        miss — the caller recomputes; nothing raises.
+        """
         path = self._path(key)
         try:
             data = path.read_bytes()
         except OSError:
             return MISS
         try:
-            return pickle.loads(data)
+            return self._decode(data)
         except Exception:
-            # Corrupt or truncated entry (e.g. from a killed writer
-            # predating atomic renames): drop it and recompute.
-            path.unlink(missing_ok=True)
+            self._quarantine(key, path)
             return MISS
+
+    @staticmethod
+    def _decode(data: bytes) -> Any:
+        if not data.startswith(MAGIC):
+            raise CorruptEntry("bad magic")
+        body = data[len(MAGIC):]
+        if len(body) < _DIGEST_LEN:
+            raise CorruptEntry("truncated header")
+        digest, payload = body[:_DIGEST_LEN], body[_DIGEST_LEN:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise CorruptEntry("digest mismatch")
+        return pickle.loads(payload)
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a bad entry aside (kept for forensics) and log the key."""
+        target_dir = self.root / "quarantine"
+        target_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.corruption_log.append(key)
+
+    def drain_corruptions(self) -> list[str]:
+        """Return and clear the keys quarantined since the last drain."""
+        drained, self.corruption_log = self.corruption_log, []
+        return drained
+
+    def quarantined(self) -> list[Path]:
+        return sorted((self.root / "quarantine").glob("*.pkl"))
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` atomically."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = MAGIC + hashlib.sha256(payload).digest() + payload
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(blob)
             os.replace(tmp, path)
         except BaseException:
             try:

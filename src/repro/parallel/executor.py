@@ -9,7 +9,17 @@ processes, serves prior results from the content-addressed
 in submission order, so parallel and serial execution are bit-for-bit
 identical (``tests/experiments/test_determinism.py`` enforces this).
 
-Environment knobs (read by :func:`get_default_executor`):
+The pool path is failure-tolerant: a cell that exceeds the per-cell
+timeout or loses its worker process (segfault, OOM kill) is retried up
+to ``max_retries`` times in a fresh pool, then re-executed serially in
+the calling process as a last resort — the grid completes and the
+recovery is recorded in telemetry instead of aborting the run.  Because
+cells are deterministic, re-execution is always safe.  Exceptions
+*raised by the cell function itself* still propagate: those are bugs,
+not flakiness.
+
+Environment knobs (read by :func:`get_default_executor` and the
+constructor defaults):
 
 ``REPRO_JOBS``
     Worker-process count; defaults to ``os.cpu_count()``.  ``1`` runs
@@ -21,13 +31,21 @@ Environment knobs (read by :func:`get_default_executor`):
 ``REPRO_CACHE_DIR``
     Cache location; defaults to ``$XDG_CACHE_HOME/repro-vscale`` (or
     ``~/.cache/repro-vscale``).  Setting it implies ``REPRO_CACHE=1``.
+``REPRO_CELL_TIMEOUT``
+    Per-cell wall-clock timeout in seconds (measured from when the cell
+    starts running in a worker, not from submission).  Unset or ``<= 0``
+    disables the timeout.
+``REPRO_CELL_RETRIES``
+    Pool retries before the serial fallback (default 1).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import os
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -38,9 +56,14 @@ from repro.parallel.telemetry import CellRecord, Telemetry
 ENV_JOBS = "REPRO_JOBS"
 ENV_CACHE = "REPRO_CACHE"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CELL_TIMEOUT = "REPRO_CELL_TIMEOUT"
+ENV_CELL_RETRIES = "REPRO_CELL_RETRIES"
 
 _FALSY = {"0", "off", "false", "no"}
 _TRUTHY = {"1", "on", "true", "yes"}
+
+#: How often the pool loop polls futures for completion/timeouts (s).
+_POLL_INTERVAL_S = 0.05
 
 
 def default_cache_dir() -> Path:
@@ -58,6 +81,21 @@ def jobs_from_env() -> int:
     if raw:
         return max(1, int(raw))
     return os.cpu_count() or 1
+
+
+def cell_timeout_from_env() -> float | None:
+    raw = os.environ.get(ENV_CELL_TIMEOUT, "").strip()
+    if not raw:
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
+
+def cell_retries_from_env() -> int:
+    raw = os.environ.get(ENV_CELL_RETRIES, "").strip()
+    if raw:
+        return max(0, int(raw))
+    return 1
 
 
 def cache_from_env() -> ResultCache | None:
@@ -103,6 +141,18 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+@dataclass
+class _CellRun:
+    """Mutable per-cell scheduling state inside one run_cells call."""
+
+    index: int
+    attempts: int = 0
+    retries_left: int = 0
+    #: Why the pool failed the cell last ("timeout"/"crash"); becomes the
+    #: telemetry annotation when the serial fallback rescues it.
+    last_failure: str | None = None
+
+
 class ParallelExecutor:
     """Runs cell grids across a process pool with result memoization."""
 
@@ -111,10 +161,20 @@ class ParallelExecutor:
         jobs: int | None = None,
         cache: ResultCache | None = None,
         telemetry: Telemetry | None = None,
+        cell_timeout_s: float | None = None,
+        max_retries: int | None = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else jobs_from_env())
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.cell_timeout_s = (
+            cell_timeout_s if cell_timeout_s is not None else cell_timeout_from_env()
+        )
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            self.cell_timeout_s = None
+        self.max_retries = (
+            max_retries if max_retries is not None else cell_retries_from_env()
+        )
 
     def run_cells(self, specs: Iterable[CellSpec]) -> list[Any]:
         """Run every cell, in order; cached cells are not re-executed."""
@@ -136,40 +196,195 @@ class ParallelExecutor:
             pending.append(index)
 
         if pending:
-            payloads = [
-                (index, specs[index].fn, dict(specs[index].kwargs))
-                for index in pending
-            ]
             if self.jobs == 1 or len(pending) == 1:
-                outcomes: Iterable = map(_invoke, payloads)
-                self._collect(specs, keys, results, outcomes)
-            else:
-                workers = min(self.jobs, len(pending))
-                with _pool_context().Pool(processes=workers) as pool:
-                    self._collect(
-                        specs, keys, results, pool.imap_unordered(_invoke, payloads)
+                for index in pending:
+                    outcome = _invoke(
+                        (index, specs[index].fn, dict(specs[index].kwargs))
                     )
+                    self._complete(specs, keys, results, outcome)
+            else:
+                self._run_pool(specs, keys, results, pending)
+
+        if self.cache is not None:
+            for key in self.cache.drain_corruptions():
+                self.telemetry.record_corruption(key)
         return results
 
     def run_cell(self, spec: CellSpec) -> Any:
         """Convenience wrapper for a single cell."""
         return self.run_cells([spec])[0]
 
-    def _collect(
+    # ------------------------------------------------------------------
+    # Pool scheduling with timeout/crash recovery
+    # ------------------------------------------------------------------
+    def _run_pool(
         self,
         specs: Sequence[CellSpec],
         keys: Mapping[int, str],
         results: list[Any],
-        outcomes: Iterable[tuple[int, Any, float, float]],
+        pending: Sequence[int],
     ) -> None:
-        for index, value, started, finished in outcomes:
-            spec = specs[index]
-            results[index] = value
-            if self.cache is not None:
-                self.cache.put(keys[index], value)
-            self.telemetry.record(
-                CellRecord(spec.experiment, spec.name, started, finished, False)
+        runs = {
+            index: _CellRun(index=index, retries_left=self.max_retries)
+            for index in pending
+        }
+        queue: list[int] = list(pending)
+        serial: list[_CellRun] = []
+        workers = min(self.jobs, len(pending))
+        context = _pool_context()
+
+        while queue:
+            queue = self._pool_round(
+                specs, keys, results, runs, queue, serial, workers, context
             )
+
+        # Last resort: re-execute rescue cases inline, in submission order.
+        # Determinism makes this safe; it is slower but cannot crash the
+        # grid the way a dying worker can.
+        for run in sorted(serial, key=lambda r: r.index):
+            spec = specs[run.index]
+            run.attempts += 1
+            outcome = _invoke((run.index, spec.fn, dict(spec.kwargs)))
+            self._complete(
+                specs, keys, results, outcome,
+                attempts=run.attempts, recovered=run.last_failure,
+            )
+
+    def _pool_round(
+        self,
+        specs: Sequence[CellSpec],
+        keys: Mapping[int, str],
+        results: list[Any],
+        runs: dict[int, _CellRun],
+        queue: list[int],
+        serial: list[_CellRun],
+        workers: int,
+        context,
+    ) -> list[int]:
+        """Run one pool generation; returns the indices needing another.
+
+        A generation ends when every submitted future resolves, or early
+        when a timeout/crash forces the pool down — surviving cells are
+        requeued for the next generation, repeat offenders are handed to
+        the serial fallback.
+        """
+        requeue: list[int] = []
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        )
+        futures: dict[concurrent.futures.Future, int] = {}
+        for index in queue:
+            spec = specs[index]
+            runs[index].attempts += 1
+            future = pool.submit(_invoke, (index, spec.fn, dict(spec.kwargs)))
+            futures[future] = index
+        started_at: dict[concurrent.futures.Future, float] = {}
+        outstanding = set(futures)
+        try:
+            while outstanding:
+                done, outstanding = concurrent.futures.wait(
+                    outstanding, timeout=_POLL_INTERVAL_S
+                )
+                now = time.time()
+                broken: list[int] = []
+                for future in done:
+                    index = futures[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        # A worker died under this cell (or the pool
+                        # collapsed while it was queued).
+                        broken.append(index)
+                        continue
+                    self._complete(
+                        specs, keys, results, outcome,
+                        attempts=runs[index].attempts,
+                    )
+                if broken:
+                    # Every outstanding future is poisoned too — fail the
+                    # rest of the generation over to retry/serial.
+                    self._fail_over(
+                        runs, broken + [futures[f] for f in outstanding],
+                        "crash", requeue, serial,
+                    )
+                    return requeue
+                if self.cell_timeout_s is None:
+                    continue
+                for future in outstanding:
+                    if future not in started_at and future.running():
+                        started_at[future] = now
+                expired = [
+                    future
+                    for future in outstanding
+                    if future in started_at
+                    and now - started_at[future] > self.cell_timeout_s
+                ]
+                if expired:
+                    # Running futures cannot be cancelled: take the pool
+                    # down and sort survivors from offenders.
+                    expired_set = set(expired)
+                    for future in outstanding:
+                        index = futures[future]
+                        if future in expired_set:
+                            self._fail_over(
+                                runs, [index], "timeout", requeue, serial
+                            )
+                        else:
+                            # Innocent bystander: requeue at no cost.
+                            requeue.append(index)
+                    self._terminate(pool)
+                    return requeue
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return requeue
+
+    @staticmethod
+    def _fail_over(
+        runs: dict[int, _CellRun],
+        indices: Iterable[int],
+        reason: str,
+        requeue: list[int],
+        serial: list[_CellRun],
+    ) -> None:
+        for index in indices:
+            run = runs[index]
+            run.last_failure = reason
+            if run.retries_left > 0:
+                run.retries_left -= 1
+                requeue.append(index)
+            else:
+                serial.append(run)
+
+    @staticmethod
+    def _terminate(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+        """Kill worker processes outright so a hung cell cannot block
+        shutdown.  (`_processes` is private but stable since 3.7; running
+        futures cannot be cancelled any other way.)"""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _complete(
+        self,
+        specs: Sequence[CellSpec],
+        keys: Mapping[int, str],
+        results: list[Any],
+        outcome: tuple[int, Any, float, float],
+        attempts: int = 1,
+        recovered: str | None = None,
+    ) -> None:
+        index, value, started, finished = outcome
+        spec = specs[index]
+        results[index] = value
+        if self.cache is not None:
+            self.cache.put(keys[index], value)
+        self.telemetry.record(
+            CellRecord(
+                spec.experiment, spec.name, started, finished, False,
+                attempts=attempts, recovered=recovered,
+            )
+        )
 
 
 _DEFAULT: ParallelExecutor | None = None

@@ -6,6 +6,11 @@ keeps running hit/miss counters.  The runner prints the per-cell lines
 and the final summary on stderr so the deterministic report text on
 stdout stays byte-identical between serial, parallel, cold-cache, and
 warm-cache runs.
+
+Robustness events are telemetry too: cells that needed more than one
+attempt carry ``attempts``/``recovered`` annotations, and cache entries
+quarantined as corrupt are tallied per key.  None of this appears on
+stdout — a recovered grid still renders the same report.
 """
 
 from __future__ import annotations
@@ -21,6 +26,11 @@ class CellRecord:
     started: float
     finished: float
     cache_hit: bool
+    #: Total executions of the cell (1 on the happy path).
+    attempts: int = 1
+    #: How the cell was rescued when the pool failed it: "timeout" or
+    #: "crash" (serial re-execution), None on the happy path.
+    recovered: str | None = None
 
     @property
     def duration_s(self) -> float:
@@ -28,7 +38,12 @@ class CellRecord:
 
     def render(self) -> str:
         status = "hit " if self.cache_hit else "run "
-        return f"[cell] {status} {self.experiment:10s} {self.cell:40s} {self.duration_s:7.2f}s"
+        line = f"[cell] {status} {self.experiment:10s} {self.cell:40s} {self.duration_s:7.2f}s"
+        if self.recovered is not None:
+            line += f"  (recovered: {self.recovered}, attempts={self.attempts})"
+        elif self.attempts > 1:
+            line += f"  (attempts={self.attempts})"
+        return line
 
 
 @dataclass
@@ -36,6 +51,10 @@ class Telemetry:
     records: list[CellRecord] = field(default_factory=list)
     hits: int = 0
     misses: int = 0
+    #: Cells rescued by serial re-execution after a pool timeout/crash.
+    recovered_cells: int = 0
+    #: Cache keys whose entries were quarantined as corrupt.
+    corrupt_entries: list[str] = field(default_factory=list)
 
     def record(self, record: CellRecord) -> None:
         self.records.append(record)
@@ -43,6 +62,11 @@ class Telemetry:
             self.hits += 1
         else:
             self.misses += 1
+        if record.recovered is not None:
+            self.recovered_cells += 1
+
+    def record_corruption(self, key: str) -> None:
+        self.corrupt_entries.append(key)
 
     def mark(self) -> int:
         """Bookmark the current record count (for per-experiment slices)."""
@@ -58,16 +82,23 @@ class Telemetry:
         return "\n".join(r.render() for r in self.records[since:])
 
     def summary(self) -> str:
-        return (
+        text = (
             f"[telemetry] cells={len(self.records)} hits={self.hits} "
             f"misses={self.misses} executed={self.executed_seconds():.1f}s"
         )
+        if self.recovered_cells:
+            text += f" recovered={self.recovered_cells}"
+        if self.corrupt_entries:
+            text += f" corrupt_cache_entries={len(self.corrupt_entries)}"
+        return text
 
     def to_dict(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "executed_seconds": self.executed_seconds(),
+            "recovered_cells": self.recovered_cells,
+            "corrupt_entries": list(self.corrupt_entries),
             "cells": [
                 {
                     "experiment": r.experiment,
@@ -76,6 +107,8 @@ class Telemetry:
                     "finished": r.finished,
                     "duration_s": r.duration_s,
                     "cache_hit": r.cache_hit,
+                    "attempts": r.attempts,
+                    "recovered": r.recovered,
                 }
                 for r in self.records
             ],

@@ -33,6 +33,16 @@ class TestCosts:
         running = [r[2] for r in rows]
         assert running == sorted(running)
 
+    @pytest.mark.parametrize("field", [
+        "syscall_ns", "lock_ns", "mask_ns",
+        "group_power_ns", "hypercall_ns", "ipi_send_ns",
+    ])
+    def test_nonpositive_components_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            BalancerCosts(**{field: 0})
+        with pytest.raises(ValueError, match=field):
+            BalancerCosts(**{field: -10})
+
 
 class TestFreeze:
     def test_freeze_sets_mask_and_marks_hypervisor(self, running_guest):

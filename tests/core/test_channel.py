@@ -63,3 +63,14 @@ def test_measure_requires_iterations():
 def test_costs_total():
     costs = ChannelCosts()
     assert costs.total_ns == costs.syscall_ns + costs.hypercall_ns
+
+
+@pytest.mark.parametrize("field,value", [
+    ("syscall_ns", 0),
+    ("syscall_ns", -690),
+    ("hypercall_ns", 0),
+    ("hypercall_ns", -1),
+])
+def test_costs_reject_nonpositive_components(field, value):
+    with pytest.raises(ValueError, match=field):
+        ChannelCosts(**{field: value})

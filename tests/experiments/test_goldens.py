@@ -49,10 +49,17 @@ def _fig6_cell():
     )
 
 
+def _faults_cell():
+    from repro.experiments import faults
+
+    return faults.run_matrix_cell("cg", "vscale", 0.05, seed=3, work_scale=0.05)
+
+
 CASES = {
     "table1": _table1,
     "table3": _table3,
     "fig6_cell_cg_vscale": _fig6_cell,
+    "faults_cell_cg_vscale": _faults_cell,
 }
 
 

@@ -1,0 +1,193 @@
+"""Tests for the control loop's graceful-degradation paths under faults."""
+
+from repro.core.daemon import DaemonConfig, VScaleDaemon
+from repro.faults import FaultConfig, FaultPlan
+from repro.units import MS, SEC
+from tests.conftest import StackBuilder, busy
+
+
+def build_faulty(config: FaultConfig, daemon_config=None, seed=7, pcpus=4):
+    """The contended daemon harness with a fault plan layered on top."""
+    builder = StackBuilder(pcpus=pcpus)
+    worker = builder.guest("worker", vcpus=4, weight=256)
+    rival = builder.guest("rival", vcpus=pcpus, weight=256)
+    builder.machine.install_vscale()
+    builder.machine.install_faults(FaultPlan(config, seed=seed))
+    daemon = VScaleDaemon(worker, daemon_config)
+    daemon.install()
+    return builder, worker, rival, daemon
+
+
+def saturate(worker, rival, seconds=30):
+    for index in range(4):
+        rival.spawn(busy(seconds * SEC), f"r{index}")
+    for index in range(4):
+        worker.spawn(busy(seconds * SEC), f"w{index}")
+
+
+class TestReadRetry:
+    def test_total_read_failure_degrades_to_holding(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(channel_fail_rate=1.0)
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        # Every read (and every retry) fails: the daemon abandons each
+        # period, holds the boot-time count, and never deadlocks.
+        assert daemon.stats.read_failures > 0
+        assert daemon.stats.read_retries > 0
+        assert daemon.stats.read_abandons > 0
+        assert daemon.reconfigurations == 0
+        assert worker.online_vcpus == 4
+
+    def test_partial_failure_recovers_via_retry(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(channel_fail_rate=0.5)
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=4 * SEC)
+        assert daemon.stats.read_failures > 0
+        assert daemon.stats.read_retries > 0
+        # Retries rescue enough periods for the loop to keep scaling.
+        assert daemon.reconfigurations >= 1
+        assert worker.online_vcpus <= 3
+
+    def test_retry_knob_zero_abandons_immediately(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(channel_fail_rate=1.0),
+            DaemonConfig(max_read_retries=0),
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=1 * SEC)
+        assert daemon.stats.read_retries == 0
+        assert daemon.stats.read_abandons > 0
+
+
+class TestStalenessGuard:
+    def test_stale_floods_trigger_holds_when_hardened(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(channel_stale_rate=1.0),
+            DaemonConfig.hardened(),
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=4 * SEC)
+        assert daemon.stats.stale_reads > 0
+        # The replayed snapshot's publish stamp ages past 5 periods (the
+        # history holds 8 reads) and the guard starts holding.
+        assert daemon.stats.stale_holds > 0
+
+    def test_unhardened_daemon_acts_on_stale_data(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(channel_stale_rate=1.0)
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        assert daemon.stats.stale_reads > 0
+        assert daemon.stats.stale_holds == 0  # guard disabled by default
+
+
+class TestWatchdog:
+    def test_stalls_fire_watchdog_when_hardened(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(daemon_stall_rate=1.0),
+            DaemonConfig.hardened(),
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        assert daemon.stats.watchdog_resyncs > 0
+        assert daemon.stats.missed_periods > 0
+
+    def test_watchdog_off_by_default(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(daemon_stall_rate=1.0)
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        assert daemon.stats.watchdog_resyncs == 0
+
+
+class TestFreezeFailures:
+    def test_loop_survives_transient_freeze_failures(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(freeze_fail_rate=0.7)
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=4 * SEC)
+        assert daemon.stats.reconfig_failures > 0
+        assert daemon.balancer.failed_ops > 0
+        # Enough syscalls get through for scaling to still happen.
+        assert daemon.reconfigurations >= 1
+
+
+class TestLostIPIRecovery:
+    def test_freeze_completes_despite_dropped_ipis(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(ipi_drop_rate=1.0)
+        )
+        saturate(worker, rival)
+        machine = builder.start()
+        machine.run(until=2 * SEC)
+        # The freeze-notify IPI is always lost; the tick-path recovery
+        # still migrates threads off masked vCPUs so freezes complete.
+        assert daemon.reconfigurations >= 1
+        assert worker.online_vcpus <= 3
+        from repro.hypervisor.domain import VCPUState
+
+        for index in worker.cpu_freeze_mask:
+            vcpu = worker.domain.vcpus[index]
+            assert vcpu.state is VCPUState.FROZEN or vcpu.freeze_pending
+
+
+class TestDwellHysteresis:
+    def test_fast_reversal_suppressed(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(),  # no stochastic faults needed: drive _decide directly
+            DaemonConfig(shrink_patience=1, dwell_ns=50 * MS),
+        )
+        daemon.disable()  # drive _decide by hand, not from the live loop
+        builder.start()
+        steps = daemon._decide(2)
+        assert steps and all(freeze for _, freeze in steps)
+        for index, _ in steps:
+            worker.cpu_freeze_mask.add(index)
+        # Reversing within the dwell window is flapping: suppressed.
+        assert daemon._decide(4) == []
+        assert daemon.stats.flaps_suppressed == 1
+        assert daemon.stats.direction_flaps == 0
+
+    def test_reversal_allowed_after_dwell(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(),
+            DaemonConfig(shrink_patience=1, dwell_ns=50 * MS),
+        )
+        daemon.disable()
+        machine = builder.start()
+        daemon._decide(2)
+        worker.cpu_freeze_mask.add(3)
+        machine.run(until=60 * MS)
+        steps = daemon._decide(4)
+        assert steps == [(3, False)]
+        assert daemon.stats.direction_flaps == 1
+        assert daemon.stats.flaps_suppressed == 0
+
+    def test_no_dwell_counts_flaps_without_suppressing(self):
+        builder, worker, rival, daemon = build_faulty(
+            FaultConfig(),
+            DaemonConfig(shrink_patience=1),  # dwell_ns=0
+        )
+        daemon.disable()
+        builder.start()
+        daemon._decide(2)
+        worker.cpu_freeze_mask.add(3)
+        steps = daemon._decide(4)
+        assert steps == [(3, False)]
+        assert daemon.stats.direction_flaps == 1
+        assert daemon.stats.flaps_suppressed == 0

@@ -29,3 +29,26 @@ def pid_tag(x: int) -> tuple[int, int]:
 
 def boom(x: int) -> int:
     raise RuntimeError(f"cell {x} failed")
+
+
+def crash_in_worker(x: int) -> int:
+    """Die abruptly (no exception, no cleanup) when run in a pool worker.
+
+    In the main process — i.e. under the executor's serial fallback — it
+    behaves like :func:`square`, so recovery can be observed end to end.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        os._exit(42)
+    return x * x
+
+
+def sleepy_in_worker(x: int, sleep_s: float) -> int:
+    """Hang for ``sleep_s`` when run in a pool worker; instant inline."""
+    import multiprocessing
+    import time
+
+    if multiprocessing.parent_process() is not None:
+        time.sleep(sleep_s)
+    return x * x
