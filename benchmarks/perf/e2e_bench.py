@@ -1,0 +1,54 @@
+"""End-to-end experiment cells, sized for wall-clock benchmarking.
+
+Each function runs one representative cell of a major experiment grid,
+single-process (no executor, no cache), and returns a scalar digest so
+the harness can sanity-log that the run did real work.  ``quick`` halves
+the simulated scale for the CI smoke lane.
+"""
+
+from __future__ import annotations
+
+
+def fig6_npb_cell(quick: bool = False) -> float:
+    """One fig6 NPB cell: 8-thread CG on a 4-vCPU VM under vScale."""
+    from repro.experiments.npb_common import run_cell
+    from repro.experiments.setups import Config
+    from repro.workloads.openmp import SPINCOUNT_ACTIVE
+
+    scale = 0.1 if quick else 0.2
+    cell = run_cell("cg", 4, SPINCOUNT_ACTIVE, Config.VSCALE, seed=3, work_scale=scale)
+    return float(cell.duration_ns)
+
+
+def faults_cell(quick: bool = False) -> float:
+    """One fault-matrix cell: CG under vScale with 5% fault rates."""
+    from repro.experiments import faults
+
+    scale = 0.05 if quick else 0.1
+    cell = faults.run_matrix_cell("cg", "vscale", 0.05, seed=3, work_scale=scale)
+    return float(cell.duration_ns)
+
+
+def decentralized_50vm(quick: bool = False) -> float:
+    """The 50-VM self-scaling host: every VM runs its own daemon."""
+    from repro.experiments import decentralization
+    from repro.units import SEC
+
+    vms = 20 if quick else 50
+    duration = SEC if quick else 2 * SEC
+    result = decentralization.run(
+        vms=vms, pcpus=16, vcpus_per_vm=2, duration_ns=duration, seed=5
+    )
+    return result.worst_share_error
+
+
+def fig4_dom0_sweep(quick: bool = False) -> float:
+    """The fig4 dom0 cost model: libxl sweeps over 50 VMs under net I/O."""
+    from repro.hypervisor.dom0 import Dom0Load, Dom0Toolstack
+    from repro.sim.rng import SeedSequenceFactory
+
+    iterations = 500 if quick else 2000
+    toolstack = Dom0Toolstack(
+        SeedSequenceFactory(4).generator("libxl"), load=Dom0Load.NET_IO
+    )
+    return toolstack.measure(50, iterations)["avg_ns"]

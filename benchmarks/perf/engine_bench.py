@@ -1,0 +1,98 @@
+"""Engine-throughput microbenchmarks.
+
+Each function drives the discrete-event core through one access pattern the
+experiments exercise, and returns the number of *items* processed so the
+harness (``scripts/perf_bench.py``) can report throughput.  They use only
+the public ``Simulator`` API (``schedule``/``cancel``/``run``/``peek_time``/
+``pending_count``), so the same file times any engine revision — including
+pre-overhaul trees, which is how the "before" column of ``BENCH_sim.json``
+is produced.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+
+
+def _noop() -> None:
+    pass
+
+
+def tick_chains(events: int = 200_000, chains: int = 32) -> int:
+    """Concurrent self-rescheduling timers — the guest-tick pattern.
+
+    ``chains`` parallel 1 ms-ish periods with co-prime strides, so the
+    queue always holds ``chains`` events and insertions interleave.
+    """
+    sim = Simulator()
+    remaining = [events]
+
+    def tick(period: int) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule(period, tick, period)
+
+    for chain in range(chains):
+        sim.schedule(1, tick, 1_000_000 + 7 * chain)
+    sim.run()
+    return events
+
+
+def deep_queue(events: int = 30_000) -> int:
+    """Bulk-schedule a deep queue of scattered timers, then drain it."""
+    sim = Simulator()
+    state = 0x2545F4914F6CDD1D
+    for _ in range(events):
+        # xorshift: cheap, deterministic, engine-independent delays.
+        state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 7
+        state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+        sim.schedule(state % 2_000_000_000, _noop)
+    sim.run()
+    return events
+
+
+def cancel_churn(events: int = 40_000) -> int:
+    """Schedule timers and cancel most of them — the rearm pattern.
+
+    Guest tick rearms and slice timers cancel far more events than they
+    fire; this stresses tombstone handling and compaction.
+    """
+    sim = Simulator()
+    pending = []
+    for round_index in range(4):
+        for i in range(events // 4):
+            pending.append(sim.schedule(10_000_000 + i * 1_000, _noop))
+        # Cancel 75% of what we just scheduled, scattered.
+        for i, event in enumerate(pending):
+            if i % 4 != 0:
+                event.cancel()
+        pending.clear()
+        sim.run(until=sim.now + 5_000_000)
+    sim.run()
+    return events
+
+
+def peek_monitor(events: int = 20_000, chains: int = 8) -> int:
+    """Tick chains with a ``peek_time``/``pending_count`` probe per event.
+
+    The idle-detection paths ask the engine "when is the next event?"
+    constantly; before the overhaul ``peek_time`` sorted the whole queue.
+    """
+    sim = Simulator()
+    remaining = [events]
+    # Keep a standing population so peeks have something to look at.
+    for i in range(512):
+        sim.schedule(3_000_000_000 + i * 1_000_000, _noop)
+
+    def tick(period: int) -> None:
+        sim.peek_time()
+        sim.pending_count()
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule(period, tick, period)
+
+    for chain in range(chains):
+        sim.schedule(1, tick, 1_000_000 + 13 * chain)
+    sim.run(until=3_000_000_000 - 1)
+    return events

@@ -1,0 +1,48 @@
+"""Per-object memory footprint of the hot simulation classes.
+
+Verifies the ``__slots__`` work: reports heap bytes per instance
+(including referenced sub-objects a constructor allocates), measured with
+``tracemalloc`` over a large population.  Not a timing benchmark — the
+harness stores the numbers in ``BENCH_sim.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+
+def _bytes_per(make, count: int = 20_000) -> float:
+    gc.collect()
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    objects = [make(i) for i in range(count)]
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del objects
+    gc.collect()
+    return (after - before) / count
+
+
+def object_sizes(count: int = 20_000) -> dict[str, float]:
+    from repro.guest.runqueue import RunQueue
+    from repro.guest.threads import Thread
+    from repro.hypervisor.domain import VCPU
+    from repro.hypervisor.irq import IRQ, IRQClass
+    from repro.sim.engine import Simulator
+
+    def make_thread(i: int) -> Thread:
+        return Thread(None, (x for x in ()), f"t{i}")
+
+    sim = Simulator()
+
+    def make_event(i: int):
+        return sim.schedule(i + 1, _bytes_per)
+
+    return {
+        "thread_bytes": _bytes_per(make_thread, count),
+        "runqueue_bytes": _bytes_per(lambda i: RunQueue(i), count),
+        "vcpu_bytes": _bytes_per(lambda i: VCPU(None, i), count),
+        "irq_bytes": _bytes_per(lambda i: IRQ(IRQClass.RESCHED_IPI, i), count),
+        "scheduled_event_bytes": _bytes_per(make_event, count),
+    }

@@ -1,0 +1,40 @@
+"""RNG-path microbenchmarks: the per-sample cost the experiments pay."""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.sim.rng import SeedSequenceFactory, jittered
+
+
+def fault_decisions(calls: int = 100_000) -> int:
+    """The injector's hot path: one probability draw per decision site.
+
+    Exercises whatever lookup/draw strategy ``FaultInjector`` uses —
+    per-call ``generator(f"faults.{site}")`` before the overhaul, cached
+    buffered streams after it.
+    """
+    plan = FaultPlan(
+        seed=7,
+        config=FaultConfig(ipi_drop_rate=0.01, ipi_delay_rate=0.02,
+                           channel_fail_rate=0.01, channel_stale_rate=0.02),
+    )
+    injector = FaultInjector(plan)
+    for _ in range(calls // 2):
+        injector.channel_fault()
+        injector.freeze_fault()
+    return calls
+
+
+def cost_jitter(calls: int = 100_000) -> int:
+    """``jittered()`` cost sampling, as done on every channel read."""
+    seeds = SeedSequenceFactory(11)
+    rng = (
+        seeds.stream("bench.jitter", "normal")
+        if hasattr(seeds, "stream")
+        else seeds.generator("bench.jitter")
+    )
+    total = 0
+    for _ in range(calls):
+        total += jittered(rng, 1200, 0.06)
+    return calls

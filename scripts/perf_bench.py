@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Time the simulation core and representative experiment cells.
+
+Runs the ``benchmarks/perf/`` suite — engine-throughput microbenchmarks,
+RNG-path microbenchmarks, end-to-end experiment cells, and a per-object
+memory census — and writes the results to ``BENCH_sim.json`` so the
+repo's performance trajectory is tracked commit over commit.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_bench.py                 # full run
+    PYTHONPATH=src python scripts/perf_bench.py --quick         # CI smoke
+    PYTHONPATH=src python scripts/perf_bench.py \
+        --check-against BENCH_sim.json --max-regression 0.30    # gate
+
+The bench modules use only public APIs, so the same script can time an
+older revision of the simulator: point ``PYTHONPATH`` at that revision's
+``src`` (e.g. a ``git worktree`` of the previous commit) and pass
+``--label before``.  ``--merge-baseline before.json`` then folds such a
+run into the output as the ``before`` column, with speedups computed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PERF_DIR = REPO_ROOT / "benchmarks" / "perf"
+
+
+def _load(module_name: str):
+    path = PERF_DIR / f"{module_name}.py"
+    spec = importlib.util.spec_from_file_location(f"perf_{module_name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _time_best_of(fn, args: dict, repeats: int) -> tuple[float, float]:
+    """(best seconds, items) over ``repeats`` runs, after one warm-up."""
+    fn(**args)  # warm-up: imports, first-touch allocations
+    best = float("inf")
+    items = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(**args)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        if isinstance(result, (int, float)):
+            items = float(result)
+    return best, items
+
+
+def run_suite(quick: bool) -> dict:
+    engine = _load("engine_bench")
+    rng = _load("rng_bench")
+    e2e = _load("e2e_bench")
+    memory = _load("memory_bench")
+
+    scale = 4 if quick else 1
+    repeats = 1 if quick else 3
+    benches = [
+        # (name, fn, kwargs, items are events -> report events/s)
+        ("engine.tick_chains", engine.tick_chains, {"events": 200_000 // scale}),
+        ("engine.deep_queue", engine.deep_queue, {"events": 30_000 // scale}),
+        ("engine.cancel_churn", engine.cancel_churn, {"events": 40_000 // scale}),
+        ("engine.peek_monitor", engine.peek_monitor, {"events": 20_000 // scale}),
+        ("rng.fault_decisions", rng.fault_decisions, {"calls": 100_000 // scale}),
+        ("rng.cost_jitter", rng.cost_jitter, {"calls": 100_000 // scale}),
+        ("e2e.fig6_npb_cell", e2e.fig6_npb_cell, {"quick": quick}),
+        ("e2e.faults_cell", e2e.faults_cell, {"quick": quick}),
+        ("e2e.decentralized_50vm", e2e.decentralized_50vm, {"quick": quick}),
+        ("e2e.fig4_dom0_sweep", e2e.fig4_dom0_sweep, {"quick": quick}),
+    ]
+
+    results: dict[str, dict] = {}
+    for name, fn, kwargs in benches:
+        seconds, items = _time_best_of(fn, kwargs, repeats)
+        entry = {"seconds": round(seconds, 6)}
+        if items and name.split(".")[0] in ("engine", "rng"):
+            entry["per_second"] = round(items / seconds)
+        results[name] = entry
+        print(f"  {name:<28} {seconds * 1e3:9.2f} ms"
+              + (f"  ({entry['per_second']:,}/s)" if "per_second" in entry else ""))
+
+    print("  memory census ...")
+    results["memory.objects"] = {
+        key: round(value, 1)
+        for key, value in memory.object_sizes(5_000 if quick else 20_000).items()
+    }
+    return results
+
+
+def check_regressions(current: dict, reference_path: Path, limit: float,
+                      quick: bool) -> int:
+    reference = json.loads(reference_path.read_text())
+    # Compare like-for-like: quick runs use smaller workloads, so they gate
+    # against the committed "quick" column; full runs against "after" (a
+    # merged file) or "benches" (a flat run).
+    if quick:
+        ref_benches = reference.get("quick") or {}
+        if not ref_benches:
+            print(f"no 'quick' reference column in {reference_path}; "
+                  "nothing to gate against")
+            return 0
+    else:
+        ref_benches = reference.get("after") or reference.get("benches") or {}
+    failures = []
+    for name, entry in current.items():
+        if "seconds" not in entry or name not in ref_benches:
+            continue
+        ref_seconds = ref_benches[name].get("seconds")
+        if not ref_seconds:
+            continue
+        ratio = entry["seconds"] / ref_seconds
+        status = "OK" if ratio <= 1.0 + limit else "REGRESSION"
+        print(f"  {name:<28} {ratio:5.2f}x vs reference  {status}")
+        if ratio > 1.0 + limit:
+            failures.append((name, ratio))
+    if failures:
+        print(f"FAIL: {len(failures)} bench(es) regressed more than "
+              f"{limit:.0%}: " + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures))
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def merge_baseline(after: dict, baseline_path: Path) -> dict:
+    before = json.loads(baseline_path.read_text())["benches"]
+    speedup = {}
+    for name, entry in after.items():
+        if "seconds" in entry and name in before and "seconds" in before[name]:
+            speedup[name] = round(before[name]["seconds"] / entry["seconds"], 2)
+    return {"before": before, "after": after, "speedup": speedup}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes, single repeat (CI smoke lane)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results JSON here (default: BENCH_sim.json "
+                             "at the repo root for full runs; no file for "
+                             "--quick unless given)")
+    parser.add_argument("--label", default=None,
+                        help="free-form tag stored in the output (e.g. 'before')")
+    parser.add_argument("--merge-baseline", type=Path, default=None,
+                        help="fold a previous run in as the 'before' column")
+    parser.add_argument("--record-quick", type=Path, default=None,
+                        help="with --quick: store this run as the 'quick' "
+                             "reference column inside an existing results "
+                             "file (the one CI gates against)")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        help="compare against a reference JSON and fail on "
+                             "regression")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed slowdown vs reference (default 0.30)")
+    args = parser.parse_args()
+
+    print(f"perf_bench: {'quick' if args.quick else 'full'} run, "
+          f"python {platform.python_version()}")
+    benches = run_suite(args.quick)
+
+    payload: dict = {
+        "schema": 1,
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+    }
+    if args.label:
+        payload["label"] = args.label
+    if args.merge_baseline:
+        payload.update(merge_baseline(benches, args.merge_baseline))
+    else:
+        payload["benches"] = benches
+
+    output = args.output
+    if output is None and not args.quick:
+        output = REPO_ROOT / "BENCH_sim.json"
+    if output is not None:
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {output}")
+
+    if args.record_quick:
+        if not args.quick:
+            parser.error("--record-quick requires --quick")
+        merged = json.loads(args.record_quick.read_text())
+        merged["quick"] = benches
+        args.record_quick.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"recorded quick reference column in {args.record_quick}")
+
+    if args.check_against:
+        return check_regressions(benches, args.check_against,
+                                 args.max_regression, args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,8 +107,8 @@ class VScaleBalancer:
     ):
         self.kernel = kernel
         self.costs = costs or BalancerCosts()
-        self.rng = rng or kernel.machine.seeds.generator(
-            f"balancer.{kernel.domain.name}"
+        self.rng = rng or kernel.machine.seeds.stream(
+            f"balancer.{kernel.domain.name}", "normal"
         )
         self.master_latency = LatencyReservoir()
         self.freezes = 0

@@ -76,7 +76,7 @@ class VScaleChannel:
     ):
         self.domain = domain
         self.costs = costs or ChannelCosts()
-        self.rng = rng or domain.machine.seeds.generator(f"channel.{domain.name}")
+        self.rng = rng or domain.machine.seeds.stream(f"channel.{domain.name}", "normal")
         self.reads = 0
         self.read_latency = LatencyReservoir()
         self.failed_reads = 0

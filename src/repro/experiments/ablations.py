@@ -75,7 +75,7 @@ def _run_app(scenario, app_name: str, seed: int, work_scale: float) -> tuple[int
     domain = scenario.worker_domain
     wait0 = domain.total_wait_ns(scenario.machine.sim.now)
     app = NPBApp(
-        scenario.worker_kernel, profile, SPINCOUNT_ACTIVE, seeds.generator("npb")
+        scenario.worker_kernel, profile, SPINCOUNT_ACTIVE, seeds.stream("npb", "normal")
     )
     app.launch()
     duration = run_until_done(scenario, app)

@@ -127,7 +127,7 @@ def run_matrix_cell(
         scenario.worker_kernel,
         profile,
         SPINCOUNT_DEFAULT,
-        seeds.generator("npb"),
+        seeds.stream("npb", "normal"),
         kernel_lock=scenario.worker_kernel_lock,
     )
     app.launch()

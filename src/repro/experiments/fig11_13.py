@@ -107,7 +107,7 @@ def run_cell(
     app = ParsecApp(
         scenario.worker_kernel,
         profile,
-        seeds.generator("parsec"),
+        seeds.stream("parsec", "normal"),
         kernel_lock=scenario.worker_kernel_lock,
     )
     app.launch()

@@ -81,7 +81,7 @@ def run_point(
     seeds = SeedSequenceFactory(seed)
     server = ApacheServer(
         scenario.worker_kernel,
-        rng=seeds.generator("apache"),
+        rng=seeds.stream("apache", "normal"),
         kernel_lock=scenario.worker_kernel_lock,
     )
     client = HttperfClient(server, rng=seeds.generator("httperf"))

@@ -88,7 +88,7 @@ def run_cell(
         scenario.worker_kernel,
         profile,
         spincount,
-        seeds.generator("npb"),
+        seeds.stream("npb", "normal"),
         kernel_lock=scenario.worker_kernel_lock,
     )
     app.launch()

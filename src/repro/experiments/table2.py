@@ -51,13 +51,14 @@ def run(seed: int = 1, window_ns: int = 4 * SEC) -> Table2Result:
     domain = machine.create_domain("builder", vcpus=4)
     kernel = GuestKernel(domain)
     seeds = SeedSequenceFactory(seed)
-    build = KernelBuild(kernel, seeds.generator("kbuild"), jobs=8)
+    build = KernelBuild(kernel, seeds.stream("kbuild", "normal"), jobs=8)
     build.install()
     machine.start()
     # Warm-up so the job pipeline fills.
     machine.run(until=1 * SEC)
 
     def snapshot():
+        kernel.sync_ticks()
         timers = [int(c) for c in kernel.timer_interrupts]
         ipis = [int(v.ipi_received) for v in domain.vcpus]
         return timers, ipis

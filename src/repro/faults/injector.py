@@ -22,7 +22,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.hypervisor.irq import IRQClass
-from repro.sim.rng import SeedSequenceFactory
+from repro.sim.rng import BufferedStream, SeedSequenceFactory
 
 
 @dataclass
@@ -74,6 +74,10 @@ class FaultInjector:
         self.stats = FaultStats()
         self._seeds = SeedSequenceFactory(plan.seed)
         self._scripted = _ScriptedState()
+        # Per-site buffered streams, cached so the hot decision paths skip
+        # the factory's dict+format lookup on every query.
+        self._hit_streams: dict[str, BufferedStream] = {}
+        self._delay_streams: dict[str, BufferedStream] = {}
 
     # ------------------------------------------------------------------
     # Decision primitives
@@ -81,10 +85,18 @@ class FaultInjector:
     def _hit(self, site: str, rate: float) -> bool:
         if rate <= 0.0:
             return False
-        return bool(self._seeds.generator(f"faults.{site}").random() < rate)
+        stream = self._hit_streams.get(site)
+        if stream is None:
+            stream = self._seeds.stream(f"faults.{site}", "random")
+            self._hit_streams[site] = stream
+        return stream._next() < rate
 
     def _sample_delay(self, site: str, mean_ns: int) -> int:
-        return max(1, round(self._seeds.generator(f"faults.{site}").exponential(mean_ns)))
+        stream = self._delay_streams.get(site)
+        if stream is None:
+            stream = self._seeds.stream(f"faults.{site}", "exponential")
+            self._delay_streams[site] = stream
+        return max(1, round(mean_ns * stream._next()))
 
     def _take_scripted(self, site: str, window_start: int, window_end: int) -> FaultEvent | None:
         """Consume the first unfired scripted event of ``site`` whose start

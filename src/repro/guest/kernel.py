@@ -21,6 +21,7 @@ spin budgets therefore measure on-CPU time, exactly like a real busy-wait.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, TYPE_CHECKING
 
@@ -72,8 +73,54 @@ class GuestConfig:
     pv_spinlock: bool = False
     #: On-CPU spin budget before a pv-spinlock waiter yields.
     pv_spin_budget_ns: int = 30 * US
+    #: Coalesce scheduler ticks while a vCPU is runnable but off-CPU: the
+    #: per-tick effects (interrupt counters) are folded in arithmetically
+    #: when the vCPU resumes, instead of firing one event per tick.  Pure
+    #: performance knob — results are identical either way.
+    #: ``REPRO_COALESCE_TICKS=0`` flips the default off, for A/B timing and
+    #: the equivalence tests.
+    coalesce_ticks: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_COALESCE_TICKS", "1") != "0"
+    )
     #: Extra bookkeeping for experiments.
     tags: dict = field(default_factory=dict)
+
+
+class _FreezeMask(set):
+    """``cpu_freeze_mask`` that folds coalesced tick chains on every flip.
+
+    While a vCPU's tick chain is virtualized (runnable but off-CPU), the
+    chain's fate at each elided tick depends on the freeze condition *at
+    that tick's time*.  Folding the chain immediately before any mask
+    mutation keeps the condition constant between folds, so evaluating it
+    lazily stays exact.
+    """
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "GuestKernel"):
+        super().__init__()
+        self._kernel = kernel
+
+    def add(self, index: int) -> None:
+        if index not in self:
+            self._kernel._coalesce_fold(index)
+        super().add(index)
+
+    def discard(self, index: int) -> None:
+        if index in self:
+            self._kernel._coalesce_fold(index)
+        super().discard(index)
+
+    def remove(self, index: int) -> None:
+        if index in self:
+            self._kernel._coalesce_fold(index)
+        super().remove(index)
+
+    def update(self, *others) -> None:
+        for other in others:
+            for index in other:
+                self.add(index)
 
 
 class GuestKernel:
@@ -88,7 +135,7 @@ class GuestKernel:
         self.runqueues = [RunQueue(i) for i in range(n)]
         #: vScale's cpu_freeze_mask: vCPU indices the balancer froze.  All
         #: runqueue selection and pull balancing consults this.
-        self.cpu_freeze_mask: set[int] = set()
+        self.cpu_freeze_mask: set[int] = _FreezeMask(self)
         #: Set per-vCPU while the hypervisor has it on a pCPU.
         self._executing = [False] * n
         #: In-flight action-completion events, per vCPU.
@@ -97,6 +144,10 @@ class GuestKernel:
         self._action_started: list[int | None] = [None] * n
         #: Tick events, per vCPU (armed while the vCPU has work).
         self._tick_events: list[Event | None] = [None] * n
+        #: Coalesced (virtualized) tick chains: due time of the next elided
+        #: tick for a runnable-but-off-CPU vCPU, or None.  See _coalesce_fold.
+        self._tick_virtual: list[int | None] = [None] * n
+        self._coalesce = self.config.coalesce_ticks
         self._ticks_seen = [0] * n
         #: vCPU index currently executing kernel code, for IPI attribution.
         self._context: int | None = None
@@ -177,6 +228,15 @@ class GuestKernel:
             return
         self._pause_current_action(i)
         self._executing[i] = False
+        if self._coalesce:
+            # Virtualize the tick chain while the vCPU waits for a pCPU:
+            # off-CPU ticks only bump interrupt counters, so they can be
+            # folded in arithmetically when the vCPU resumes.
+            event = self._tick_events[i]
+            if event is not None:
+                self._tick_virtual[i] = event.time
+                event.cancel()
+                self._tick_events[i] = None
 
     def deliver_irq(self, vcpu: VCPU, irq: IRQ) -> None:
         i = vcpu.index
@@ -523,14 +583,67 @@ class GuestKernel:
     # Scheduler tick (1000 HZ) and periodic load balancing
     # ------------------------------------------------------------------
     def _ensure_tick(self, i: int) -> None:
+        if self._tick_virtual[i] is not None:
+            # Materialize the coalesced chain: fold the ticks that elapsed
+            # while off-CPU, then re-arm a real event preserving the phase
+            # (unless the chain died frozen/idle, in which case a fresh
+            # chain starts below — exactly what the real chain would do).
+            self._coalesce_fold(i)
+            due = self._tick_virtual[i]
+            if due is not None:
+                self._tick_virtual[i] = None
+                self._tick_events[i] = self.sim.schedule_at(due, self._tick, i)
+                return
         if self._tick_events[i] is None:
             self._tick_events[i] = self.sim.schedule(self.config.tick_ns, self._tick, i)
 
     def _cancel_tick(self, i: int) -> None:
+        self._tick_virtual[i] = None
         event = self._tick_events[i]
         if event is not None:
             event.cancel()
             self._tick_events[i] = None
+
+    def _coalesce_fold(self, i: int) -> None:
+        """Bring vCPU ``i``'s virtualized tick chain up to date.
+
+        Replays the ticks that fell due since the chain was virtualized,
+        with exactly the effects the real (off-CPU) tick handler has: the
+        frozen branch kills the chain without counting, the dynticks branch
+        kills it too, and otherwise the tick bumps the interrupt counters
+        and re-arms one period later.  Callers must invoke this *before*
+        mutating any state the off-CPU tick consults (freeze mask, FROZEN
+        transitions), so the condition seen here is the one that held at
+        every elided tick time.  A tick falling exactly on the mutation
+        instant resolves tick-first, matching the event ordering of a
+        chain re-armed a full period earlier.
+        """
+        due = self._tick_virtual[i]
+        now = self.sim.now
+        if due is None or due > now:
+            return
+        vcpu = self.domain.vcpus[i]
+        if vcpu.state is VCPUState.FROZEN or i in self.cpu_freeze_mask:
+            self._tick_virtual[i] = None
+            return
+        rq = self.runqueues[i]
+        if rq.current is None and not rq.ready:
+            self._tick_virtual[i] = None
+            return
+        period = self.config.tick_ns
+        ticks = (now - due) // period + 1
+        self.timer_interrupts[i].inc(ticks)
+        self._ticks_seen[i] += ticks
+        self._tick_virtual[i] = due + ticks * period
+
+    def sync_ticks(self) -> None:
+        """Fold every vCPU's coalesced ticks, for mid-run counter readers."""
+        for i in range(len(self.runqueues)):
+            self._coalesce_fold(i)
+
+    def vcpu_frozen_edge(self, vcpu: VCPU) -> None:
+        """Hypervisor hook: ``vcpu`` is about to enter or leave FROZEN."""
+        self._coalesce_fold(vcpu.index)
 
     def _tick(self, i: int) -> None:
         """One virtual timer interrupt on vCPU i.

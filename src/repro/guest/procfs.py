@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 def proc_interrupts(kernel: "GuestKernel") -> str:
     """Per-vCPU interrupt counts, /proc/interrupts style."""
+    kernel.sync_ticks()  # fold coalesced off-CPU ticks into the counters
     n = len(kernel.runqueues)
     table = Table("", ["", *[f"CPU{i}" for i in range(n)], ""])
     table.add_row(

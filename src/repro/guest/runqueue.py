@@ -16,6 +16,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class RunQueue:
     """The ready queue plus current thread of one vCPU."""
 
+    __slots__ = (
+        "index",
+        "ready",
+        "current",
+        "min_vruntime",
+        "picked_at",
+        "pending_overhead_ns",
+    )
+
     def __init__(self, index: int):
         self.index = index
         self.ready: list["Thread"] = []
@@ -47,12 +56,20 @@ class RunQueue:
 
         Ties break by queue order, which keeps the simulation deterministic.
         """
-        if not self.ready:
-            return None
-        rt = [t for t in self.ready if t.rt]
-        pool = rt or self.ready
-        best = min(pool, key=lambda t: (t.vruntime, t.tid))
-        return best
+        best: "Thread | None" = None
+        best_rt: "Thread | None" = None
+        for t in self.ready:
+            if t.rt:
+                if best_rt is None or t.vruntime < best_rt.vruntime or (
+                    t.vruntime == best_rt.vruntime and t.tid < best_rt.tid
+                ):
+                    best_rt = t
+            elif best_rt is None:
+                if best is None or t.vruntime < best.vruntime or (
+                    t.vruntime == best.vruntime and t.tid < best.tid
+                ):
+                    best = t
+        return best_rt if best_rt is not None else best
 
     def advance_min_vruntime(self) -> None:
         candidates = [t.vruntime for t in self.ready]

@@ -40,7 +40,29 @@ class ThreadState(enum.Enum):
 
 
 class Thread:
-    """A guest thread bound to one runqueue at a time."""
+    """A guest thread bound to one runqueue at a time.
+
+    Experiments create tens of thousands of these (one per request in the
+    httperf runs), so instances are slotted: no per-object ``__dict__``.
+    """
+
+    __slots__ = (
+        "kernel",
+        "behavior",
+        "name",
+        "kind",
+        "rt",
+        "tid",
+        "state",
+        "vcpu_index",
+        "pinned_to",
+        "action",
+        "send_value",
+        "vruntime",
+        "exec_ns",
+        "migrations",
+        "nonpreemptible",
+    )
 
     def __init__(
         self,

@@ -199,6 +199,14 @@ class CreditScheduler:
         vcpu.last_pcpu = pcpu
 
     def _dequeue(self, vcpu: VCPU) -> None:
+        # _enqueue stamps last_pcpu, so a queued vCPU is always on its home
+        # runqueue — check it first instead of scanning every pCPU's queue.
+        home = vcpu.last_pcpu
+        if home is not None:
+            queue = self.runqueues[home]
+            if vcpu in queue:
+                queue.remove(vcpu)
+                return
         for queue in self.runqueues.values():
             if vcpu in queue:
                 queue.remove(vcpu)

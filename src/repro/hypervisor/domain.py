@@ -66,6 +66,23 @@ class GuestInterface(Protocol):
 class VCPU:
     """One virtual CPU of a domain, as seen by the credit scheduler."""
 
+    __slots__ = (
+        "domain",
+        "index",
+        "state",
+        "priority",
+        "credits",
+        "pcpu",
+        "last_pcpu",
+        "pending_irqs",
+        "boosted",
+        "freeze_pending",
+        "timer",
+        "run_started_at",
+        "irq_delivered",
+        "ipi_received",
+    )
+
     def __init__(self, domain: "Domain", index: int):
         self.domain = domain
         self.index = index
@@ -102,7 +119,19 @@ class VCPU:
         return self.state in (VCPUState.RUNNING, VCPUState.RUNNABLE)
 
     def set_state(self, new_state: VCPUState, now: int) -> None:
-        """Transition state, folding elapsed time into the state timer."""
+        """Transition state, folding elapsed time into the state timer.
+
+        Transitions into or out of FROZEN are announced to the guest
+        *before* they take effect: a guest coalescing its off-CPU scheduler
+        ticks must fold the elided ticks under the old freeze condition
+        (see ``GuestKernel._coalesce_fold``).
+        """
+        if (new_state is VCPUState.FROZEN) != (self.state is VCPUState.FROZEN):
+            guest = self.domain.guest
+            if guest is not None:
+                edge = getattr(guest, "vcpu_frozen_edge", None)
+                if edge is not None:
+                    edge(self)
         self.timer.transition(new_state.value, now)
         self.state = new_state
 

@@ -42,9 +42,15 @@ class IRQClass(enum.Enum):
 _irq_ids = itertools.count()
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class IRQ:
-    """One posted interrupt instance, tracked from post to delivery."""
+    """One posted interrupt instance, tracked from post to delivery.
+
+    ``eq=False``: every instance carries a unique ``irq_id``, so the
+    generated field-wise ``__eq__`` could only ever match on identity
+    anyway — but it walked all seven fields to find that out, and
+    ``pending_irqs`` list removal calls it for every queued entry.
+    """
 
     irq_class: IRQClass
     post_time: int

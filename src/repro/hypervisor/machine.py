@@ -27,6 +27,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class PCPU:
     """A physical CPU in the guest pool."""
 
+    __slots__ = (
+        "machine",
+        "index",
+        "current",
+        "_slice_event",
+        "idle_ns",
+        "_idle_since",
+    )
+
     def __init__(self, machine: "Machine", index: int):
         self.machine = machine
         self.index = index

@@ -5,9 +5,32 @@ Design notes
 * Time is an integer nanosecond counter (see :mod:`repro.units`).  Events
   scheduled for the same instant fire in insertion order, which makes the
   whole stack deterministic for a fixed seed.
-* Events are cancellable.  Cancellation is lazy: the heap entry stays in the
-  queue but is skipped when popped.  This is the standard "tombstone" scheme
-  and keeps ``cancel`` O(1).
+* Events are cancellable.  Cancellation is lazy: the queue entry stays where
+  it is but is skipped when popped.  This is the standard "tombstone" scheme
+  and keeps ``cancel`` O(1).  When tombstones come to dominate the queue the
+  engine compacts them away in one O(n) pass, so a long-running simulation
+  that arms-and-cancels timers (the guest tick chains do this constantly)
+  never accumulates unbounded garbage.
+* Two interchangeable queue engines implement the same total order
+  ``(time, seq)``:
+
+  ``wheel`` (default)
+      A hierarchical timer wheel: a small sorted heap for the current ~1 ms
+      granule, 256 unsorted buckets covering the next ~268 ms, and an
+      overflow heap for far-future timers.  Most of the simulation's churn
+      (ticks, quanta, IPIs) lands in the near window where insertion is an
+      O(1) list append instead of an O(log n) heap sift, and heap entries
+      are plain ``(time, seq, event)`` tuples so comparisons run in C.
+
+  ``heap``
+      The reference engine: one binary heap.  Kept for differential testing
+      — both engines must produce bit-identical event orderings (seq is
+      unique, so ``(time, seq)`` is a total order and any correct priority
+      queue agrees).
+
+* ``peek_time`` and ``pending_count`` are O(1) amortized: the queue keeps a
+  live-event counter, and peeking only pays for the tombstones it discards
+  (work the next pop would have done anyway).
 * There is intentionally no coroutine/process layer here.  The hypervisor and
   guest schedulers are state machines with explicit preemption bookkeeping;
   callbacks map onto that far more directly than generator processes would.
@@ -16,7 +39,17 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable
+
+#: log2 of the wheel granule: 2**20 ns ~= 1.05 ms, matching the guest tick.
+_GRANULE_BITS = 20
+#: Number of near-future buckets; window = 256 granules ~= 268 ms.
+_WHEEL_SLOTS = 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+#: Compaction triggers when tombstones exceed this floor *and* outnumber
+#: live entries; the floor keeps tiny queues from compacting constantly.
+_COMPACT_FLOOR = 128
 
 
 class SimulationError(RuntimeError):
@@ -30,22 +63,35 @@ class Event:
     :attr:`time` attribute.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_owner")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        owner: "_HeapQueue | _WheelQueue | None" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._owner = owner
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
+        if self.cancelled:
+            return
         self.cancelled = True
-        # Drop references eagerly so cancelled events pinned in the heap do
+        # Drop references eagerly so cancelled events pinned in the queue do
         # not keep large object graphs (guest kernels, threads) alive.
         self.fn = _cancelled_fn
         self.args = ()
+        owner = self._owner
+        if owner is not None:
+            owner.note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -64,6 +110,214 @@ def _cancelled_fn(*_args: Any) -> None:  # pragma: no cover - never called
     raise AssertionError("cancelled event fired")
 
 
+class _HeapQueue:
+    """Reference engine: a single binary heap of ``(time, seq, event)``."""
+
+    __slots__ = ("_heap", "live", "_tombstones")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self.live = 0
+        self._tombstones = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self.live += 1
+
+    def note_cancel(self) -> None:
+        self.live -= 1
+        self._tombstones += 1
+        if self._tombstones > _COMPACT_FLOOR and self._tombstones > self.live:
+            self.compact()
+
+    def compact(self) -> None:
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+
+    def peek(self) -> Event | None:
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._tombstones -= 1
+                continue
+            return event
+        return None
+
+    def pop_next(self, until: int | None) -> Event | None:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heappop(heap)
+                self._tombstones -= 1
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heappop(heap)
+            self.live -= 1
+            return event
+        return None
+
+
+class _WheelQueue:
+    """Timer-wheel engine: near-future buckets in front of an overflow heap.
+
+    Invariants:
+
+    * ``_cur`` is the granule the window currently points at; it only moves
+      forward, and only ever to the next *occupied* granule, so each wheel
+      slot holds entries for exactly one granule at a time.
+    * ``_cur_heap`` holds every entry with granule <= ``_cur`` (sorted);
+      slot ``g & MASK`` holds granule ``g`` for g in (cur, cur + SLOTS];
+      ``_far`` holds everything beyond the window at insertion time.
+    * ``_wheel_count`` counts entries (live or tombstoned) parked in wheel
+      buckets, so an empty wheel short-circuits the slot scan.
+    """
+
+    __slots__ = (
+        "_cur",
+        "_cur_heap",
+        "_wheel",
+        "_wheel_count",
+        "_far",
+        "live",
+        "_tombstones",
+    )
+
+    def __init__(self) -> None:
+        self._cur = 0
+        self._cur_heap: list[tuple[int, int, Event]] = []
+        self._wheel: list[list[tuple[int, int, Event]]] = [
+            [] for _ in range(_WHEEL_SLOTS)
+        ]
+        self._wheel_count = 0
+        self._far: list[tuple[int, int, Event]] = []
+        self.live = 0
+        self._tombstones = 0
+
+    def push(self, event: Event) -> None:
+        self.live += 1
+        granule = event.time >> _GRANULE_BITS
+        entry = (event.time, event.seq, event)
+        offset = granule - self._cur
+        if offset <= 0:
+            heapq.heappush(self._cur_heap, entry)
+        elif offset <= _WHEEL_SLOTS:
+            self._wheel[granule & _WHEEL_MASK].append(entry)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._far, entry)
+
+    def note_cancel(self) -> None:
+        self.live -= 1
+        self._tombstones += 1
+        if self._tombstones > _COMPACT_FLOOR and self._tombstones > self.live:
+            self.compact()
+
+    def compact(self) -> None:
+        self._cur_heap = [e for e in self._cur_heap if not e[2].cancelled]
+        heapq.heapify(self._cur_heap)
+        self._far = [e for e in self._far if not e[2].cancelled]
+        heapq.heapify(self._far)
+        count = 0
+        for bucket in self._wheel:
+            if bucket:
+                bucket[:] = [e for e in bucket if not e[2].cancelled]
+                count += len(bucket)
+        self._wheel_count = count
+        self._tombstones = 0
+
+    def peek(self) -> Event | None:
+        while True:
+            heap = self._cur_heap
+            while heap:
+                event = heap[0][2]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    self._tombstones -= 1
+                    continue
+                return event
+            if not self._advance():
+                return None
+
+    def pop_next(self, until: int | None) -> Event | None:
+        heappop = heapq.heappop
+        while True:
+            heap = self._cur_heap
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    heappop(heap)
+                    self._tombstones -= 1
+                    continue
+                if until is not None and entry[0] > until:
+                    return None
+                heappop(heap)
+                self.live -= 1
+                return event
+            if not self._advance():
+                return None
+
+    def _advance(self) -> bool:
+        """Slide the window to the next occupied granule.
+
+        Called with an empty current-granule heap; drains that granule's
+        wheel bucket (and any overflow entries that now fall on it) into the
+        current heap.  Returns False when the whole queue has drained.
+        """
+        wheel_granule = None
+        if self._wheel_count:
+            cur = self._cur
+            wheel = self._wheel
+            for dist in range(1, _WHEEL_SLOTS + 1):
+                if wheel[(cur + dist) & _WHEEL_MASK]:
+                    wheel_granule = cur + dist
+                    break
+        far = self._far
+        while far and far[0][2].cancelled:
+            heapq.heappop(far)
+            self._tombstones -= 1
+        far_granule = (far[0][0] >> _GRANULE_BITS) if far else None
+        if wheel_granule is None:
+            if far_granule is None:
+                return False
+            granule = far_granule
+        elif far_granule is None or wheel_granule <= far_granule:
+            granule = wheel_granule
+        else:
+            granule = far_granule
+        self._cur = granule
+        heap = self._cur_heap
+        bucket = self._wheel[granule & _WHEEL_MASK]
+        if bucket:
+            self._wheel_count -= len(bucket)
+            for entry in bucket:
+                if entry[2].cancelled:
+                    self._tombstones -= 1
+                else:
+                    heap.append(entry)
+            bucket.clear()
+        # Overflow entries whose granule has come into view fire now too;
+        # ones further out stay put and are compared by granule next time.
+        while far and (far[0][0] >> _GRANULE_BITS) == granule:
+            entry = heapq.heappop(far)
+            if entry[2].cancelled:
+                self._tombstones -= 1
+            else:
+                heap.append(entry)
+        heapq.heapify(heap)
+        return True
+
+
+_ENGINES = {"wheel": _WheelQueue, "heap": _HeapQueue}
+
+
 class Simulator:
     """A single-clock discrete-event simulator.
 
@@ -80,9 +334,19 @@ class Simulator:
     100
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str | None = None) -> None:
+        if engine is None:
+            # Both engines produce identical event orderings, so the choice
+            # is a pure performance knob; the env override lets the perf
+            # harness A/B them without threading a parameter everywhere.
+            engine = os.environ.get("REPRO_SIM_ENGINE", "wheel")
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+            )
         self.now: int = 0
-        self._queue: list[Event] = []
+        self.engine = engine
+        self._queue = _ENGINES[engine]()
         self._seq: int = 0
         self._running = False
         self._stopped = False
@@ -94,7 +358,12 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}ns in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # schedule_at's body, inlined: this is the hottest call in the
+        # simulator (one per tick, quantum, IPI, ...).
+        event = Event(int(self.now + delay), self._seq, fn, args, self._queue)
+        self._seq += 1
+        self._queue.push(event)
+        return event
 
     def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -102,9 +371,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        event = Event(int(time), self._seq, fn, args)
+        event = Event(int(time), self._seq, fn, args, self._queue)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._queue.push(event)
         return event
 
     # ------------------------------------------------------------------
@@ -122,17 +391,11 @@ class Simulator:
         self._running = True
         self._stopped = False
         try:
-            queue = self._queue
-            while queue:
-                if self._stopped:
+            pop_next = self._queue.pop_next
+            while not self._stopped:
+                event = pop_next(until)
+                if event is None:
                     break
-                event = queue[0]
-                if event.cancelled:
-                    heapq.heappop(queue)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(queue)
                 self.now = event.time
                 event.cancelled = True  # mark as fired
                 event.fn(*event.args)
@@ -143,15 +406,13 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire exactly one event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            event.cancelled = True
-            event.fn(*event.args)
-            return True
-        return False
+        event = self._queue.pop_next(None)
+        if event is None:
+            return False
+        self.now = event.time
+        event.cancelled = True
+        event.fn(*event.args)
+        return True
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
@@ -162,11 +423,9 @@ class Simulator:
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._queue.live
 
     def peek_time(self) -> int | None:
         """Time of the next live event, or None if the queue is empty."""
-        for event in sorted(self._queue):
-            if not event.cancelled:
-                return event.time
-        return None
+        event = self._queue.peek()
+        return None if event is None else event.time

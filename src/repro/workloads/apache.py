@@ -101,8 +101,8 @@ class ApacheServer:
     ):
         self.kernel = kernel
         self.config = config or ApacheConfig()
-        self.rng = rng if rng is not None else kernel.machine.seeds.generator(
-            f"apache.{kernel.domain.name}"
+        self.rng = rng if rng is not None else kernel.machine.seeds.stream(
+            f"apache.{kernel.domain.name}", "normal"
         )
         self.sock_lock = kernel_lock or KernelSpinLock(kernel, "apache.socklock")
         self.channel = kernel.domain.new_event_channel("nic-rx", bound_vcpu=0)

@@ -61,3 +61,104 @@ def test_jittered_positive_and_near_mean():
 def test_jittered_clamps_tiny_means():
     rng = np.random.default_rng(0)
     assert all(jittered(rng, 1, 5.0) >= 1 for _ in range(100))
+
+
+# ----------------------------------------------------------------------
+# Buffered streams: bit-identity with unbuffered draws
+# ----------------------------------------------------------------------
+
+def _raw(name="s", seed=9):
+    """A generator identical to the one backing stream(name) of seed."""
+    return SeedSequenceFactory(seed).generator(name)
+
+
+def test_stream_scalar_normal_bit_identical_across_refills():
+    stream = SeedSequenceFactory(9).stream("s", "normal", block=4)
+    rng = _raw()
+    ours = [stream.normal(250.0, 12.5) for _ in range(11)]
+    ref = [rng.normal(250.0, 12.5) for _ in range(11)]
+    assert ours == ref  # exact equality, not allclose
+
+
+def test_stream_scalar_exponential_bit_identical():
+    stream = SeedSequenceFactory(9).stream("s", "exponential", block=4)
+    rng = _raw()
+    ours = [stream.exponential(1e6) for _ in range(11)]
+    ref = [rng.exponential(1e6) for _ in range(11)]
+    assert ours == ref
+
+
+def test_stream_scalar_random_bit_identical():
+    stream = SeedSequenceFactory(9).stream("s", "random", block=4)
+    rng = _raw()
+    assert [stream.random() for _ in range(11)] == [rng.random() for _ in range(11)]
+
+
+def test_stream_vector_normal_bit_identical():
+    stream = SeedSequenceFactory(9).stream("s", "normal", block=4)
+    rng = _raw()
+    ours = stream.normal(5.0, 2.0, size=10)
+    ref = rng.normal(5.0, 2.0, size=10)
+    assert np.array_equal(ours, ref)
+    # and the stream position stays aligned for subsequent scalars
+    assert stream.normal(5.0, 2.0) == rng.normal(5.0, 2.0)
+
+
+def test_stream_batch_apis_bit_identical():
+    factory = SeedSequenceFactory(9)
+    assert np.array_equal(
+        factory.stream("n", "normal").normal_batch(100.0, 7.0, 9),
+        _raw("n").normal(100.0, 7.0, size=9),
+    )
+    assert np.array_equal(
+        factory.stream("e", "exponential").exponential_batch(3.0, 9),
+        _raw("e").exponential(3.0, size=9),
+    )
+
+
+def test_stream_mixed_scalar_and_vector_stay_aligned():
+    stream = SeedSequenceFactory(9).stream("s", "normal", block=8)
+    rng = _raw()
+    ours = [stream.normal(1.0, 0.5)]
+    ref = [rng.normal(1.0, 0.5)]
+    ours.extend(stream.normal(1.0, 0.5, size=13))
+    ref.extend(rng.normal(1.0, 0.5, size=13))
+    ours.append(stream.normal(1.0, 0.5))
+    ref.append(rng.normal(1.0, 0.5))
+    assert ours == ref
+
+
+def test_jittered_identical_on_stream_and_generator():
+    stream = SeedSequenceFactory(9).stream("s", "normal", block=4)
+    rng = _raw()
+    assert [jittered(stream, 1000, 0.06) for _ in range(20)] == [
+        jittered(rng, 1000, 0.06) for _ in range(20)
+    ]
+
+
+def test_stream_is_cached_per_name():
+    factory = SeedSequenceFactory(1)
+    assert factory.stream("x", "normal") is factory.stream("x", "normal")
+
+
+def test_stream_kind_conflicts_raise():
+    import pytest
+
+    factory = SeedSequenceFactory(1)
+    factory.stream("x", "normal")
+    with pytest.raises(RuntimeError):
+        factory.stream("x", "exponential")
+    with pytest.raises(RuntimeError):
+        factory.stream("x", "normal").exponential(1.0)
+
+
+def test_stream_and_raw_generator_are_mutually_exclusive():
+    import pytest
+
+    factory = SeedSequenceFactory(1)
+    factory.stream("buffered", "normal")
+    with pytest.raises(RuntimeError):
+        factory.generator("buffered")
+    factory.generator("raw")
+    with pytest.raises(RuntimeError):
+        factory.stream("raw", "normal")
