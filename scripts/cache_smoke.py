@@ -11,7 +11,7 @@ directory and asserts the contract the parallel executor guarantees:
 
 Used by the CI smoke workflow (``.github/workflows/smoke.yml``)::
 
-    PYTHONPATH=src python scripts/cache_smoke.py --scale 0.05 --jobs 2
+    python scripts/cache_smoke.py --scale 0.05 --jobs 2
 """
 
 from __future__ import annotations

@@ -8,10 +8,13 @@ repo's performance trajectory is tracked commit over commit.
 
 Usage::
 
-    PYTHONPATH=src python scripts/perf_bench.py                 # full run
-    PYTHONPATH=src python scripts/perf_bench.py --quick         # CI smoke
-    PYTHONPATH=src python scripts/perf_bench.py \
+    python scripts/perf_bench.py                                # full run
+    python scripts/perf_bench.py --quick                        # CI smoke
+    python scripts/perf_bench.py \
         --check-against BENCH_sim.json --max-regression 0.30    # gate
+
+An installed ``repro`` (``pip install -e .``) is used when present;
+otherwise the checkout's own ``src/`` is put on ``sys.path``.
 
 The bench modules use only public APIs, so the same script can time an
 older revision of the simulator: point ``PYTHONPATH`` at that revision's
@@ -32,6 +35,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 PERF_DIR = REPO_ROOT / "benchmarks" / "perf"
+
+if importlib.util.find_spec("repro") is None:  # uninstalled checkout
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def _load(module_name: str):

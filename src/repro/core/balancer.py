@@ -164,6 +164,9 @@ class VScaleBalancer:
         kernel.machine.hyp_tickle_vcpu(vcpu)
         self._charge_master(cost)
         self.freezes += 1
+        sanitizer = kernel.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_balancer_op(kernel, index, freeze=True)
         threads = len(kernel.runqueues[index].ready) + (
             1 if kernel.runqueues[index].current else 0
         )
@@ -194,6 +197,9 @@ class VScaleBalancer:
         kernel.ipi_sent[0].inc()
         self._charge_master(cost)
         self.unfreezes += 1
+        sanitizer = kernel.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_balancer_op(kernel, index, freeze=False)
         return FreezeReport(index, False, cost, 0)
 
     # ------------------------------------------------------------------

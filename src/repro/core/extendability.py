@@ -259,6 +259,15 @@ class VScaleExtension:
                 domain.optimal_vcpus = result.optimal_vcpus
                 domain.extendability_published_ns = now
         self.last_results = results
+        sanitizer = machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_extendability(
+                usages,
+                results,
+                pool_pcpus=machine.config.pcpus,
+                period_ns=self.period_ns,
+                tolerance=self.COMPETITOR_TOLERANCE,
+            )
         return results
 
     def read(self, domain: "Domain") -> tuple[int, int]:

@@ -209,6 +209,9 @@ class GuestKernel:
         rq = self.runqueues[target]
         thread.vruntime = max(thread.vruntime, rq.min_vruntime)
         rq.enqueue(thread)
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_thread_placement(self, thread, target)
         if self.machine.started:
             self._kick_vcpu(target)
         return thread
@@ -472,6 +475,9 @@ class GuestKernel:
         thread.vruntime = max(thread.vruntime, floor)
         thread.state = ThreadState.READY
         rq.enqueue(thread)
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_thread_placement(self, thread, target)
         waker = self._context
         if waker is not None and waker == target:
             self._maybe_preempt_current(target)
@@ -806,7 +812,9 @@ class GuestKernel:
         previous_context = self._context
         self._context = i
         try:
-            targets: set[int] = set()
+            # Insertion-ordered dict, not a set: the kick order below feeds
+            # IPI event ordering and must be deterministic across runs.
+            targets: dict[int, None] = {}
             for thread in list(rq.ready):
                 if not thread.migratable:
                     continue
@@ -818,8 +826,8 @@ class GuestKernel:
                     self.sim.now, "guest", "migrate",
                     f"{self.domain.name}/{thread.name}", src=i, dst=dst,
                 )
-                targets.add(dst)
-            for dst in targets:
+                targets[dst] = None
+            for dst in sorted(targets):
                 self._kick_vcpu(dst)
             # Redirect event channels bound here (I/O interrupt migration).
             for channel in self.domain.event_channels:
@@ -830,6 +838,9 @@ class GuestKernel:
                     channel.rebind(candidates[0])
         finally:
             self._context = previous_context
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_freeze_migration(self, i)
         self._dispatch(i)  # rq now empty (or non-migratables only) -> idle -> frozen
 
     # ------------------------------------------------------------------

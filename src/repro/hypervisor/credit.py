@@ -189,6 +189,9 @@ class CreditScheduler:
     # ------------------------------------------------------------------
     def _enqueue(self, pcpu: "PCPU", vcpu: VCPU) -> None:
         """Insert by priority, FIFO within a class."""
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_enqueue(vcpu)
         queue = self.runqueues[pcpu]
         index = len(queue)
         for i, other in enumerate(queue):
@@ -307,6 +310,9 @@ class CreditScheduler:
         vcpu.boosted = False
 
     def _burn(self, vcpu: VCPU, elapsed: int) -> None:
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_burn(vcpu, elapsed)
         vcpu.credits -= elapsed
         domain = vcpu.domain
         domain.window_consumed_ns += elapsed
@@ -444,6 +450,12 @@ class CreditScheduler:
         total_weight = sum(weight_of.values())
         pool_credit = self.config.pcpus * self.config.acct_ns
         acct = self.config.acct_ns
+        sanitizer = self.machine.sanitizer
+        balances_before = (
+            {v: v.credits for d in domains for v in d.active_vcpus()}
+            if sanitizer is not None
+            else None
+        )
         for domain in domains:
             share = pool_credit * weight_of[domain] / total_weight
             active = domain.active_vcpus()
@@ -467,6 +479,11 @@ class CreditScheduler:
                 self.machine.request_reschedule(pcpu)
             elif queue and pcpu.current is None:
                 self.machine.request_reschedule(pcpu)
+        if sanitizer is not None:
+            assert balances_before is not None
+            sanitizer.check_acct(self, domains, balances_before)
+            sanitizer.check_runqueues(self)
+            sanitizer.check_machine(self.machine.domains)
 
     def _requeue(self, vcpu: VCPU) -> None:
         for pcpu, queue in self.runqueues.items():

@@ -126,6 +126,9 @@ class VCPU:
         ticks must fold the elided ticks under the old freeze condition
         (see ``GuestKernel._coalesce_fold``).
         """
+        sanitizer = self.domain.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_vcpu_transition(self, new_state)
         if (new_state is VCPUState.FROZEN) != (self.state is VCPUState.FROZEN):
             guest = self.domain.guest
             if guest is not None:

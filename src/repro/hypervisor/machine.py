@@ -22,6 +22,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.extendability import VScaleExtension
     from repro.faults import FaultInjector, FaultPlan
+    from repro.sanitize import Sanitizer
 
 
 class PCPU:
@@ -118,12 +119,23 @@ class Machine:
         #: site checks this for None first, so the happy path costs one
         #: attribute load and nothing else.
         self.faults: "FaultInjector | None" = None
+        #: Optional invariant checker (set by install_sanitizer(), or
+        #: automatically when REPRO_SANITIZE=1).  Same None-check contract
+        #: as self.faults at every hook site.
+        self.sanitizer: "Sanitizer | None" = None
         # Insertion-ordered (dict, not set): iteration order must be
         # deterministic across runs for reproducibility.
         self._resched_pending: dict[PCPU, None] = {}
         self._started = False
         #: Observers notified on every vCPU context switch, used by traces.
         self.context_listeners: list[Callable[[VCPU, bool], None]] = []
+        # Opt-in invariant checking: REPRO_SANITIZE=1 makes every machine
+        # (including ones built inside experiment worker processes)
+        # self-install a sanitizer.  Imported here to avoid a module cycle.
+        from repro.sanitize import enabled as sanitize_enabled
+
+        if sanitize_enabled():
+            self.install_sanitizer()
 
     # ------------------------------------------------------------------
     # Setup
@@ -163,6 +175,15 @@ class Machine:
 
         self.faults = FaultInjector(plan)
         return self.faults
+
+    def install_sanitizer(self) -> "Sanitizer":
+        """Install the cross-layer invariant checker (see repro.sanitize)."""
+        from repro.sanitize import Sanitizer
+
+        if self.sanitizer is None:
+            Sanitizer(self).install()
+        assert self.sanitizer is not None
+        return self.sanitizer
 
     def start(self) -> None:
         """Arm the scheduler and boot every domain's vCPU0.

@@ -129,9 +129,9 @@ class CellSpec:
 def _invoke(payload: tuple[int, Callable, dict]) -> tuple[int, Any, float, float]:
     """Worker-side cell execution (top-level, hence picklable)."""
     index, fn, kwargs = payload
-    started = time.time()
+    started = time.time()  # det: allow (telemetry, not simulation state)
     value = fn(**kwargs)
-    return index, value, started, time.time()
+    return index, value, started, time.time()  # det: allow (telemetry)
 
 
 def _pool_context():
@@ -187,7 +187,7 @@ class ParallelExecutor:
                 key = keys[index] = spec.key()
                 value = self.cache.get(key)
                 if value is not MISS:
-                    now = time.time()
+                    now = time.time()  # det: allow (telemetry)
                     results[index] = value
                     self.telemetry.record(
                         CellRecord(spec.experiment, spec.name, now, now, True)
@@ -285,7 +285,7 @@ class ParallelExecutor:
                 done, outstanding = concurrent.futures.wait(
                     outstanding, timeout=_POLL_INTERVAL_S
                 )
-                now = time.time()
+                now = time.time()  # det: allow (timeout bookkeeping)
                 broken: list[int] = []
                 for future in done:
                     index = futures[future]
@@ -304,18 +304,19 @@ class ParallelExecutor:
                     # Every outstanding future is poisoned too — fail the
                     # rest of the generation over to retry/serial.
                     self._fail_over(
-                        runs, broken + [futures[f] for f in outstanding],
+                        runs,
+                        broken + [futures[f] for f in outstanding],  # det: allow — results land by index; order is moot
                         "crash", requeue, serial,
                     )
                     return requeue
                 if self.cell_timeout_s is None:
                     continue
-                for future in outstanding:
+                for future in outstanding:  # det: allow — order is moot
                     if future not in started_at and future.running():
                         started_at[future] = now
                 expired = [
                     future
-                    for future in outstanding
+                    for future in outstanding  # det: allow — order is moot
                     if future in started_at
                     and now - started_at[future] > self.cell_timeout_s
                 ]
@@ -323,7 +324,7 @@ class ParallelExecutor:
                     # Running futures cannot be cancelled: take the pool
                     # down and sort survivors from offenders.
                     expired_set = set(expired)
-                    for future in outstanding:
+                    for future in outstanding:  # det: allow — order is moot
                         index = futures[future]
                         if future in expired_set:
                             self._fail_over(

@@ -1,0 +1,23 @@
+"""Opt-in cross-layer invariant checking for the simulation stack.
+
+Enable with ``REPRO_SANITIZE=1`` (every :class:`~repro.hypervisor.machine.
+Machine` then self-installs a :class:`Sanitizer`) or explicitly via
+``machine.install_sanitizer()``.  Violations raise a structured
+:class:`InvariantViolation` carrying the last trace records for post-mortem.
+
+See DESIGN.md §10 for the architecture and the checker catalog.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sanitize.checkers import Sanitizer
+from repro.sanitize.errors import InvariantViolation
+
+__all__ = ["InvariantViolation", "Sanitizer", "enabled"]
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` asks for auto-installed sanitizers."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")

@@ -1,0 +1,60 @@
+"""Structured invariant-violation errors.
+
+An :class:`InvariantViolation` is raised by the sanitizer the moment a
+cross-layer invariant breaks, carrying enough context for a post-mortem
+without re-running the simulation: which checker fired, what it observed,
+the simulation time, and the tail of the machine's trace buffer (the last
+events the stack executed before the violation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import TraceRecord
+
+
+class InvariantViolation(RuntimeError):
+    """A paper-level invariant was violated at runtime.
+
+    Attributes
+    ----------
+    checker:
+        Name of the checker that fired (see ``Sanitizer.CHECKERS``).
+    message:
+        Human-readable statement of the broken invariant.
+    time_ns:
+        Simulation time of the violation (None when no clock applies).
+    context:
+        Checker-specific observations (expected/actual values, subjects).
+    trace_tail:
+        The most recent trace records before the violation, oldest first.
+    """
+
+    def __init__(
+        self,
+        checker: str,
+        message: str,
+        time_ns: int | None = None,
+        context: dict | None = None,
+        trace_tail: Sequence["TraceRecord"] = (),
+    ):
+        self.checker = checker
+        self.message = message
+        self.time_ns = time_ns
+        self.context = dict(context or {})
+        self.trace_tail = list(trace_tail)
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        lines = [f"[{self.checker}] {self.message}"]
+        if self.time_ns is not None:
+            lines[0] += f" (t={self.time_ns}ns)"
+        for key, value in self.context.items():
+            lines.append(f"  {key} = {value!r}")
+        if self.trace_tail:
+            lines.append(f"  last {len(self.trace_tail)} trace records:")
+            for record in self.trace_tail:
+                lines.append(f"    {record}")
+        return "\n".join(lines)

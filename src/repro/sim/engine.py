@@ -350,6 +350,9 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: Optional hook invoked as ``dispatch_check(sim, event)`` right
+        #: before each event fires (installed by repro.sanitize).
+        self.dispatch_check: Callable[["Simulator", Event], None] | None = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -392,10 +395,13 @@ class Simulator:
         self._stopped = False
         try:
             pop_next = self._queue.pop_next
+            check = self.dispatch_check
             while not self._stopped:
                 event = pop_next(until)
                 if event is None:
                     break
+                if check is not None:
+                    check(self, event)
                 self.now = event.time
                 event.cancelled = True  # mark as fired
                 event.fn(*event.args)
@@ -409,6 +415,8 @@ class Simulator:
         event = self._queue.pop_next(None)
         if event is None:
             return False
+        if self.dispatch_check is not None:
+            self.dispatch_check(self, event)
         self.now = event.time
         event.cancelled = True
         event.fn(*event.args)

@@ -11,6 +11,7 @@ Tracing is opt-in and cheap when off: emitters call
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
@@ -38,7 +39,12 @@ class Tracer:
         {"sched", "irq", "guest", "vscale", "workload"}
     )
 
-    def __init__(self, categories: Iterable[str] = (), capacity: int = 100_000):
+    def __init__(
+        self,
+        categories: Iterable[str] = (),
+        capacity: int = 100_000,
+        ring: bool = False,
+    ):
         if capacity < 1:
             raise ValueError("trace capacity must be positive")
         unknown = set(categories) - self.KNOWN_CATEGORIES
@@ -46,7 +52,12 @@ class Tracer:
             raise ValueError(f"unknown trace categories: {sorted(unknown)}")
         self._enabled = set(categories)
         self.capacity = capacity
-        self.records: list[TraceRecord] = []
+        #: Ring tracers keep the *newest* records at capacity (displacing the
+        #: oldest) instead of dropping new ones — right for post-mortem tails.
+        self.ring = ring
+        self.records: "deque[TraceRecord] | list[TraceRecord]" = (
+            deque(maxlen=capacity) if ring else []
+        )
         self.dropped = 0
         #: Optional live sinks, invoked per record (e.g. printing).
         self.sinks: list[Callable[[TraceRecord], None]] = []
@@ -78,7 +89,8 @@ class Tracer:
         record = TraceRecord(time_ns, category, event, subject, details)
         if len(self.records) >= self.capacity:
             self.dropped += 1
-            return
+            if not self.ring:
+                return
         self.records.append(record)
         for sink in self.sinks:
             sink(record)

@@ -8,7 +8,7 @@ behavior changed — which must be a conscious decision, not an accident.
 
 Regenerating the snapshots (after an intentional model change)::
 
-    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
+    REPRO_UPDATE_GOLDENS=1 python -m pytest \
         tests/experiments/test_goldens.py -q
 
 then review the JSON diff and commit it alongside the change that

@@ -9,6 +9,7 @@ import json
 import os
 import subprocess
 import sys
+from pathlib import Path
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -92,8 +93,17 @@ def test_key_stable_across_processes():
         " 'config': Config.VSCALE}\n"
         f"print(cell_key('exp', cellfns.square, params, fingerprint={FIXED_CODE!r}))\n"
     )
+    # The child inherits neither pytest's `pythonpath` patching nor the
+    # repo root, so point it at whatever `repro` this process imported.
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    repo_root = str(Path(__file__).resolve().parents[2])
     for hash_seed in ("1", "2"):
         env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, repo_root, env.get("PYTHONPATH")) if p
+        )
         proc = subprocess.run(
             [sys.executable, "-c", snippet],
             capture_output=True,

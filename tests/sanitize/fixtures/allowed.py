@@ -1,0 +1,26 @@
+"""Code the determinism lint must accept: pragmas and deterministic idioms.
+
+This file is never imported — the lint parses it.
+"""
+
+import random
+import time
+
+
+def telemetry():
+    return time.perf_counter()  # det: allow (host-side telemetry)
+
+
+def seeded_stream(seed):
+    rng = random.Random(seed)  # seeded: fine
+    return rng.random()  # method on a local object, not the global RNG
+
+
+def ordered(mask):
+    for index in sorted(mask):  # sorted() launders the set
+        yield index
+
+
+def keyed(threads):
+    by_name = {t.name: t for t in threads}  # dict iteration is ordered
+    return list(by_name)

@@ -1,0 +1,44 @@
+"""Deliberate nondeterminism hazards for the determinism-lint self-test.
+
+This file is never imported — the lint parses it.  Every hazard class the
+lint knows must appear here at least once, including through aliases and
+``from``-imports, so the resolution machinery is exercised too.
+"""
+
+import random
+import time as walltime
+from datetime import datetime
+from random import randint
+
+import numpy as np
+
+
+def stamp():
+    started = walltime.perf_counter()  # wall-clock through an alias
+    now = datetime.now()  # wall-clock through a from-import
+    return started, now
+
+
+def roll():
+    a = random.random()  # process-global RNG
+    b = randint(1, 6)  # process-global RNG through a from-import
+    rng = random.Random()  # unseeded constructor
+    gen = np.random.default_rng()  # unseeded constructor through an alias
+    return a, b, rng, gen
+
+
+def cache_by_identity(obj, table):
+    table[id(obj)] = obj  # id() as a subscript key
+    return {id(obj): 1}  # id() as a dict-literal key
+
+
+def walk(items):
+    pending = {1, 2, 3}
+    for item in pending:  # iterating a set literal binding
+        yield item
+    for item in set(items):  # iterating a set() call
+        yield item
+
+
+def collect(items):
+    return [x for x in frozenset(items)]  # set iteration in a comprehension

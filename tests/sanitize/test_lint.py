@@ -1,0 +1,59 @@
+"""Self-test for scripts/determinism_lint.py against known-hazard fixtures."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+_spec = importlib.util.spec_from_file_location(
+    "determinism_lint", REPO / "scripts" / "determinism_lint.py"
+)
+lint = importlib.util.module_from_spec(_spec)
+assert _spec.loader is not None
+_spec.loader.exec_module(lint)
+
+
+def test_simulation_tree_is_clean(capsys):
+    assert lint.main([str(REPO / "src" / "repro")]) == 0
+
+
+def test_hazard_fixture_flags_every_class():
+    findings = lint.lint_file(FIXTURES / "hazards.py")
+    codes = {f.code for f in findings}
+    assert codes == {"wall-clock", "global-rng", "id-key", "set-iteration"}
+
+
+def test_hazard_fixture_fails_the_run(capsys):
+    assert lint.main([str(FIXTURES / "hazards.py")]) == 1
+
+
+def test_aliases_and_from_imports_resolve():
+    findings = lint.lint_file(FIXTURES / "hazards.py")
+    messages = [f.message for f in findings]
+    assert any("time.perf_counter" in m for m in messages)  # import time as walltime
+    assert any("random.randint" in m for m in messages)  # from random import randint
+    assert any("datetime.datetime.now" in m for m in messages)  # from datetime import datetime
+    assert any("numpy.random.default_rng" in m for m in messages)  # import numpy as np
+
+
+def test_unseeded_ctors_flagged_once_each():
+    findings = lint.lint_file(FIXTURES / "hazards.py")
+    unseeded = [f for f in findings if "without a seed" in f.message]
+    assert len(unseeded) == 2  # random.Random() and numpy.random.default_rng()
+
+
+def test_pragma_and_deterministic_idioms_pass():
+    assert lint.lint_file(FIXTURES / "allowed.py") == []
+
+
+def test_no_python_files_is_a_usage_error(tmp_path, capsys):
+    assert lint.main([str(tmp_path)]) == 2
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = lint.lint_file(bad)
+    assert len(findings) == 1
+    assert findings[0].code == "syntax"

@@ -1,0 +1,23 @@
+"""Tier-1: the full golden suite passes with the sanitizer armed.
+
+Reuses the golden cases verbatim; ``REPRO_SANITIZE=1`` is set before the
+machines are constructed, so every invariant checker runs on every edge.
+Two things are asserted at once: no invariant fires across the whole
+experiment matrix, and the sanitized results are bit-for-bit identical to
+the unsanitized goldens (the sanitizer is read-only).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import results
+from tests.experiments.test_goldens import CASES, GOLDENS
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_case_passes_sanitized(name, monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    computed = json.loads(results.dumps(CASES[name](), experiment=name))
+    golden = json.loads((GOLDENS / f"{name}.json").read_text())
+    assert computed == golden
