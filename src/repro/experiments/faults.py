@@ -75,13 +75,16 @@ def run_matrix_cell(
     seed: int = 3,
     work_scale: float = 1.0,
     fault_seed: int = FAULT_SEED,
+    scheduler: str | None = None,
 ) -> FaultCell:
     """Run one cell of the fault matrix.
 
     Same consolidated 8-pCPU host as the Figure 6 cells (4-vCPU worker,
     6 desktop VMs), with the fault plan layered on top.  vScale runs the
     hardened daemon profile; the hotplug baseline keeps its naive
-    skip-on-failure loop.
+    skip-on-failure loop.  ``scheduler`` selects the pool scheduler by
+    registry name (``None`` keeps the default) — fault injection routes
+    through the scheduler interface, so any registered scheduler works.
     """
     if app_name not in NPB_PROFILES:
         raise KeyError(f"unknown NPB app {app_name!r}")
@@ -95,6 +98,7 @@ def run_matrix_cell(
             ScenarioBuilder(seed=seed, pcpus=8)
             .with_worker_vm(4)
             .with_config(Config.VSCALE)
+            .with_scheduler(scheduler)
             .with_faults(plan)
         )
         builder.daemon_config = DaemonConfig.hardened()
@@ -105,6 +109,7 @@ def run_matrix_cell(
             ScenarioBuilder(seed=seed, pcpus=8)
             .with_worker_vm(4)
             .with_config(Config.VANILLA)
+            .with_scheduler(scheduler)
             .with_faults(plan)
             .build()
         )
@@ -209,25 +214,36 @@ def cells(
     seed: int = 3,
     work_scale: float = 1.0,
     fault_seed: int = FAULT_SEED,
+    scheduler: str | None = None,
 ) -> list[CellSpec]:
-    """Decompose the fault matrix into independent cells."""
+    """Decompose the fault matrix into independent cells.
+
+    As in :func:`repro.experiments.fig6_7.cells`, the scheduler key
+    enters the cell name and kwargs only when explicitly set, so legacy
+    cache keys are untouched.
+    """
     specs = []
     for app in apps:
         for mechanism in mechanisms:
             for rate in rates:
+                name = f"{app}/{mechanism}/rate={rate:g}"
+                kwargs = dict(
+                    app_name=app,
+                    mechanism=mechanism,
+                    rate=rate,
+                    seed=seed,
+                    work_scale=work_scale,
+                    fault_seed=fault_seed,
+                )
+                if scheduler is not None:
+                    name += f"/sched={scheduler}"
+                    kwargs["scheduler"] = scheduler
                 specs.append(
                     CellSpec(
                         experiment="faults",
-                        name=f"{app}/{mechanism}/rate={rate:g}",
+                        name=name,
                         fn=run_matrix_cell,
-                        kwargs=dict(
-                            app_name=app,
-                            mechanism=mechanism,
-                            rate=rate,
-                            seed=seed,
-                            work_scale=work_scale,
-                            fault_seed=fault_seed,
-                        ),
+                        kwargs=kwargs,
                     )
                 )
     return specs
@@ -240,13 +256,14 @@ def run(
     seed: int = 3,
     work_scale: float = 1.0,
     fault_seed: int = FAULT_SEED,
+    scheduler: str | None = None,
     executor: ParallelExecutor | None = None,
 ) -> FaultMatrixResult:
     """Run the fault matrix on the parallel executor."""
     if executor is None:
         executor = get_default_executor()
     result = FaultMatrixResult()
-    specs = cells(apps, mechanisms, rates, seed, work_scale, fault_seed)
+    specs = cells(apps, mechanisms, rates, seed, work_scale, fault_seed, scheduler)
     for cell in executor.run_cells(specs):
         result.cells[(cell.app, cell.mechanism, cell.rate)] = cell
     return result

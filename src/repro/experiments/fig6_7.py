@@ -78,26 +78,38 @@ def cells(
     configs: list[Config] | None = None,
     seed: int = 3,
     work_scale: float = 1.0,
+    scheduler: str | None = None,
 ) -> list[CellSpec]:
-    """Decompose one figure's NPB matrix into independent cells."""
+    """Decompose one figure's NPB matrix into independent cells.
+
+    ``scheduler`` picks the pool scheduler by registry name; ``None``
+    keeps the default, and also the historical cell identity — the
+    scheduler key enters the cell kwargs (and hence the cache key and
+    golden name) only when explicitly set.
+    """
     specs = []
     for spincount in spincounts:
         for app in apps or list(NPB_PROFILES):
             for config in configs or ALL_CONFIGS:
                 label = SPINCOUNT_LABELS.get(spincount, str(spincount))
+                name = f"{vcpus}v/{app}/spin={label}/{config.value}"
+                kwargs = dict(
+                    app_name=app,
+                    vcpus=vcpus,
+                    spincount=spincount,
+                    config=config,
+                    seed=seed,
+                    work_scale=work_scale,
+                )
+                if scheduler is not None:
+                    name += f"/sched={scheduler}"
+                    kwargs["scheduler"] = scheduler
                 specs.append(
                     CellSpec(
                         experiment="fig6_7",
-                        name=f"{vcpus}v/{app}/spin={label}/{config.value}",
+                        name=name,
                         fn=run_cell,
-                        kwargs=dict(
-                            app_name=app,
-                            vcpus=vcpus,
-                            spincount=spincount,
-                            config=config,
-                            seed=seed,
-                            work_scale=work_scale,
-                        ),
+                        kwargs=kwargs,
                     )
                 )
     return specs
@@ -110,13 +122,14 @@ def run(
     configs: list[Config] | None = None,
     seed: int = 3,
     work_scale: float = 1.0,
+    scheduler: str | None = None,
     executor: ParallelExecutor | None = None,
 ) -> NPBFigureResult:
     """Run the (subset of the) NPB matrix for one figure."""
     if executor is None:
         executor = get_default_executor()
     result = NPBFigureResult(vcpus=vcpus)
-    specs = cells(vcpus, apps, spincounts, configs, seed, work_scale)
+    specs = cells(vcpus, apps, spincounts, configs, seed, work_scale, scheduler)
     for cell in executor.run_cells(specs):
         result.cells[(cell.app, cell.spincount, cell.config)] = cell
     return result

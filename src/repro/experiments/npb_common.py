@@ -44,6 +44,7 @@ def run_cell(
     work_scale: float = 1.0,
     daemon_config=None,
     pcpus: int | None = None,
+    scheduler: str | None = None,
 ) -> NPBCell:
     """Run one cell of the NPB matrix and collect its measurements.
 
@@ -51,6 +52,9 @@ def run_cell(
     a quarter of the host's weight — at either VM size: the 4-vCPU VM runs
     on 8 pCPUs with 6 desktops, the 8-vCPU VM on 16 pCPUs with 12 (the
     testbed had 16 logical CPUs; consolidation stays at 2 vCPUs/pCPU).
+
+    ``scheduler`` selects the pool scheduler by registry name (see
+    :mod:`repro.hypervisor.schedulers`); ``None`` keeps the default.
     """
     if app_name not in NPB_PROFILES:
         raise KeyError(f"unknown NPB app {app_name!r}")
@@ -60,6 +64,7 @@ def run_cell(
         ScenarioBuilder(seed=seed, pcpus=pcpus)
         .with_worker_vm(vcpus)
         .with_config(config)
+        .with_scheduler(scheduler)
     )
     if daemon_config is not None:
         builder.daemon_config = daemon_config

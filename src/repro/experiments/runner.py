@@ -75,13 +75,15 @@ def _fig5(scale: float, executor: ParallelExecutor):
     return _single(executor, "fig5", fig5.run, cycles=max(20, int(100 * scale)))
 
 
-def _fig6(scale: float, executor: ParallelExecutor):
+def _fig6(scale: float, executor: ParallelExecutor, scheduler: str | None = None):
     from repro.experiments import fig6_7
 
-    return fig6_7.run(vcpus=4, work_scale=scale, executor=executor)
+    return fig6_7.run(
+        vcpus=4, work_scale=scale, scheduler=scheduler, executor=executor
+    )
 
 
-def _fig7(scale: float, executor: ParallelExecutor):
+def _fig7(scale: float, executor: ParallelExecutor, scheduler: str | None = None):
     from repro.experiments import fig6_7
     from repro.experiments.setups import Config
     from repro.workloads.openmp import SPINCOUNT_ACTIVE
@@ -91,6 +93,7 @@ def _fig7(scale: float, executor: ParallelExecutor):
         spincounts=(SPINCOUNT_ACTIVE,),
         configs=[Config.VANILLA, Config.VSCALE],
         work_scale=scale,
+        scheduler=scheduler,
         executor=executor,
     )
 
@@ -161,10 +164,19 @@ def _ablations(scale: float, executor: ParallelExecutor):
     return ablations.run_all(work_scale=max(0.05, 0.5 * scale), executor=executor)
 
 
-def _faults(scale: float, executor: ParallelExecutor):
+def _faults(scale: float, executor: ParallelExecutor, scheduler: str | None = None):
     from repro.experiments import faults
 
-    return faults.run(work_scale=scale, executor=executor)
+    return faults.run(work_scale=scale, scheduler=scheduler, executor=executor)
+
+
+def _generality(scale: float, executor: ParallelExecutor, scheduler: str | None = None):
+    from repro.experiments import generality
+
+    schedulers = (scheduler,) if scheduler is not None else None
+    return generality.run(
+        schedulers=schedulers, work_scale=scale, executor=executor
+    )
 
 
 #: name -> (description, fn(scale, executor) -> result object(s)).  The
@@ -188,7 +200,12 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[float, ParallelExecutor], object]]] 
     "variance": ("seed-variance error bars (cg)", _variance),
     "ablations": ("design-choice ablations", _ablations),
     "faults": ("fault-rate x workload robustness matrix", _faults),
+    "generality": ("scheduler-zoo n_i = ceil(s_ext/t) grid", _generality),
 }
+
+#: Experiments whose grids accept a ``--scheduler`` override.  The rest
+#: always run on the default scheduler (their goldens pin its behavior).
+SCHEDULER_AWARE = {"fig6", "fig7", "faults", "generality"}
 
 
 def build_executor(args: argparse.Namespace) -> ParallelExecutor:
@@ -230,6 +247,12 @@ def main(argv: list[str] | None = None) -> int:
         "~/.cache/repro-vscale)",
     )
     parser.add_argument("--out", type=Path, default=None, help="output directory")
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        help="pool scheduler for scheduler-aware grids "
+        f"({', '.join(sorted(SCHEDULER_AWARE))})",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -247,6 +270,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--scale must be positive")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.scheduler is not None:
+        from repro.hypervisor.schedulers import available
+
+        if args.scheduler not in available():
+            parser.error(
+                f"unknown scheduler {args.scheduler!r} "
+                f"(available: {', '.join(available())})"
+            )
+        unaware = [n for n in names if n not in SCHEDULER_AWARE]
+        if unaware:
+            parser.error(
+                f"--scheduler does not apply to: {', '.join(unaware)} "
+                f"(scheduler-aware: {', '.join(sorted(SCHEDULER_AWARE))})"
+            )
 
     executor = build_executor(args)
     telemetry = executor.telemetry
@@ -256,7 +293,10 @@ def main(argv: list[str] | None = None) -> int:
         description, fn = EXPERIMENTS[name]
         print(f"=== {name}: {description}", flush=True)
         mark = telemetry.mark()
-        outcome = fn(args.scale, executor)
+        if name in SCHEDULER_AWARE:
+            outcome = fn(args.scale, executor, args.scheduler)
+        else:
+            outcome = fn(args.scale, executor)
         parts = outcome if isinstance(outcome, list) else [outcome]
         text = "\n\n".join(part.render() for part in parts)
         print(text)

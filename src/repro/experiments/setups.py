@@ -71,9 +71,11 @@ class Scenario:
 class ScenarioBuilder:
     """Builds the consolidated-host scenario of the application sections."""
 
-    def __init__(self, seed: int = 1, pcpus: int = 8, scheduler: str = "credit"):
+    def __init__(self, seed: int = 1, pcpus: int = 8, scheduler: str | None = None):
         self.seed = seed
         self.pcpus = pcpus
+        #: Pool scheduler by registry name; None defers to REPRO_SCHEDULER
+        #: and then to the credit default (see repro.hypervisor.schedulers).
         self.scheduler = scheduler
         self.worker_vcpus = 4
         self.background_vms: int | None = None
@@ -94,6 +96,10 @@ class ScenarioBuilder:
 
     def with_config(self, config: Config) -> "ScenarioBuilder":
         self.config = config
+        return self
+
+    def with_scheduler(self, name: str | None) -> "ScenarioBuilder":
+        self.scheduler = name
         return self
 
     def with_consolidation(self, ratio: float) -> "ScenarioBuilder":

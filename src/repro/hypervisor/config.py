@@ -44,11 +44,13 @@ class HostConfig:
     boost_enabled: bool = True
     #: Enable vCPU migration/stealing between pCPU runqueues.
     allow_stealing: bool = True
-    #: Pool scheduler: "credit" (Xen 4.x csched, the paper's substrate) or
-    #: "vrt" (a virtual-runtime/Credit2-class scheduler, used to back the
-    #: paper's claim that Algorithm 1 generalizes across
-    #: proportional-share schedulers).
-    scheduler: str = "credit"
+    #: Pool scheduler, by registry name (see
+    #: :mod:`repro.hypervisor.schedulers`): "credit" (Xen 4.x csched, the
+    #: paper's substrate), "credit2", "cfs", "vrt" or "rr".  Accepts a
+    #: :class:`repro.hypervisor.schedulers.SchedulerConfig` too.  ``None``
+    #: defers to the ``REPRO_SCHEDULER`` environment variable and then to
+    #: "credit", resolved when the Machine is built.
+    scheduler: str | None = None
     #: Extra labels for experiment bookkeeping.
     tags: dict = field(default_factory=dict)
 
@@ -59,5 +61,11 @@ class HostConfig:
             raise ValueError("timeslice, tick and accounting period must be positive")
         if self.acct_ns % self.tick_ns:
             raise ValueError("accounting period must be a multiple of the tick")
-        if self.scheduler not in ("credit", "vrt"):
-            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        # Imported here: the schedulers package imports domain, and config
+        # must stay importable before the registry is populated.
+        from repro.hypervisor.schedulers import SchedulerConfig, get
+
+        if isinstance(self.scheduler, SchedulerConfig):
+            self.scheduler = self.scheduler.name
+        if self.scheduler is not None:
+            get(self.scheduler)  # raises ValueError for unknown names

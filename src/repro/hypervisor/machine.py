@@ -1,7 +1,7 @@
 """The physical host: pCPUs, the CPU pool, and the hypercall surface.
 
-The :class:`Machine` owns the simulator clock, the credit scheduler and all
-domains.  Guests interact with it exclusively through hypercall-style
+The :class:`Machine` owns the simulator clock, the pool scheduler (chosen
+from the registry in :mod:`repro.hypervisor.schedulers`) and all domains.  Guests interact with it exclusively through hypercall-style
 methods (``hyp_*``); devices post work through event channels; the vScale
 hypervisor extension (see :mod:`repro.core.extendability`) hooks in through
 :attr:`Machine.vscale`.
@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.hypervisor.config import HostConfig
-from repro.hypervisor.credit import CreditScheduler
 from repro.hypervisor.domain import Domain, VCPU, VCPUState
+from repro.hypervisor.schedulers import create as create_scheduler
 from repro.hypervisor.irq import IRQ, IRQClass
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import SeedSequenceFactory
@@ -107,12 +107,9 @@ class Machine:
         self.tracer = tracer or NULL_TRACER
         self.pool = [PCPU(self, i) for i in range(self.config.pcpus)]
         self.domains: list[Domain] = []
-        if self.config.scheduler == "vrt":
-            from repro.hypervisor.vrt import VrtScheduler
-
-            self.scheduler = VrtScheduler(self)
-        else:
-            self.scheduler = CreditScheduler(self)
+        # Registry lookup: an explicit config name wins, then the
+        # REPRO_SCHEDULER environment variable, then the credit default.
+        self.scheduler = create_scheduler(self.config.scheduler, self)
         #: Optional vScale scheduler extension (set by install_vscale()).
         self.vscale: "VScaleExtension | None" = None
         #: Optional fault injector (set by install_faults()).  Every fault

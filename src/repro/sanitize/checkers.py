@@ -9,13 +9,15 @@ checker              invariant                                       hook site
 ===================  ==============================================  =======================================
 event_monotonic      dispatched events never move time backwards     ``Simulator.run`` / ``Simulator.step``
                      and tombstoned events never fire
-credit_frozen_burn   a FROZEN vCPU never burns credit                ``CreditScheduler._burn``
-                     (Algorithm 2 / paper §4.3)
-credit_conservation  one accounting period grants exactly            ``CreditScheduler._acct``
-                     ``P x acct_ns`` of credit; frozen vCPUs get
-                     none; balances stay inside the clamp
-runqueue_state       queued vCPUs are RUNNABLE, appear on exactly    ``CreditScheduler._acct``
-                     one queue, and pCPU.current back-pointers agree
+credit_frozen_burn   a FROZEN vCPU never burns CPU time              every scheduler's charge path
+                     (Algorithm 2 / paper §4.3)                      (``Scheduler.charge_domain`` /
+                                                                     ``CreditScheduler._burn``)
+credit_conservation  one accounting period grants exactly            ``CreditScheduler._acct`` (credit
+                     ``P x acct_ns`` of credit; frozen vCPUs get     scheduler only — other schedulers
+                     none; balances stay inside the clamp            have no accounting period)
+runqueue_state       queued vCPUs are RUNNABLE, appear on exactly    ``CreditScheduler._acct``,
+                     one queue, and pCPU.current back-pointers       ``QueueScheduler._tick`` (via each
+                     agree — via ``Scheduler.runqueues_view()``      scheduler's ``runqueues_view()``)
 vcpu_transition      vCPU state transitions follow the legal         ``VCPU.set_state``
                      machine; entering FROZEN requires a drained
                      guest runqueue and a set freeze-mask bit
@@ -48,7 +50,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.core.extendability import ExtendabilityResult, VMUsage
     from repro.guest.kernel import GuestKernel
     from repro.guest.threads import Thread
-    from repro.hypervisor.credit import CreditScheduler
+    from repro.hypervisor.schedulers.base import Scheduler
+    from repro.hypervisor.schedulers.credit import CreditScheduler
     from repro.hypervisor.domain import Domain, VCPU
     from repro.hypervisor.machine import Machine
     from repro.sim.engine import Event, Simulator
@@ -235,11 +238,15 @@ class Sanitizer:
                         credits=vcpu.credits,
                     )
 
-    def check_runqueues(self, scheduler: "CreditScheduler") -> None:
-        """Runqueue membership is exclusive and states agree with placement."""
+    def check_runqueues(self, scheduler: "Scheduler") -> None:
+        """Runqueue membership is exclusive and states agree with placement.
+
+        Scheduler-agnostic: pCPU <-> vCPU coherence comes from the machine's
+        pool, and queue membership from the scheduler's own
+        ``runqueues_view()`` — per-pCPU and global-queue schedulers alike.
+        """
         self._count("runqueue_state")
-        seen: dict["VCPU", str] = {}
-        for pcpu, queue in scheduler.runqueues.items():
+        for pcpu in scheduler.machine.pool:
             current = pcpu.current
             if current is not None:
                 if current.state is not VCPUState.RUNNING:
@@ -256,21 +263,23 @@ class Sanitizer:
                         pcpu=pcpu.name,
                         vcpu=current.name,
                     )
+        seen: dict["VCPU", str] = {}
+        for label, queue in scheduler.runqueues_view():
             for vcpu in queue:
                 if vcpu in seen:
                     self.fail(
                         "runqueue_state",
                         f"{vcpu.name} is on two runqueues",
                         vcpu=vcpu.name,
-                        queues=f"{seen[vcpu]} and {pcpu.name}",
+                        queues=f"{seen[vcpu]} and {label}",
                     )
-                seen[vcpu] = pcpu.name
+                seen[vcpu] = label
                 if vcpu.state is not VCPUState.RUNNABLE:
                     self.fail(
                         "runqueue_state",
-                        f"{vcpu.name} is queued on {pcpu.name} while {vcpu.state.value}",
+                        f"{vcpu.name} is queued on {label} while {vcpu.state.value}",
                         vcpu=vcpu.name,
-                        pcpu=pcpu.name,
+                        pcpu=label,
                     )
 
     def check_enqueue(self, vcpu: "VCPU") -> None:

@@ -1,0 +1,104 @@
+"""Sanitizer coverage across the scheduler zoo.
+
+The checker unit tests in ``test_checkers.py`` build their synthetic
+violations against the default credit scheduler; this module repeats the
+scheduler-shaped ones for every *other* registered scheduler, injecting
+through the generic ``runqueues_view()``/``charge_domain`` surfaces the
+generalized checkers consume — per-pCPU and global-queue layouts alike —
+and finishes with a sanitized freeze/unfreeze workload per scheduler
+that must run violation-free.
+"""
+
+import pytest
+
+from repro.core.balancer import VScaleBalancer
+from repro.hypervisor.domain import VCPUState
+from repro.hypervisor.schedulers import available
+from repro.sanitize import InvariantViolation
+from repro.units import MS, SEC
+from tests.conftest import StackBuilder, busy
+
+NEW_SCHEDULERS = tuple(name for name in available() if name != "credit")
+
+
+def sanitized_stack(scheduler, pcpus=2, vcpus=2):
+    builder = StackBuilder(pcpus=pcpus, scheduler=scheduler)
+    kernel = builder.guest("vm", vcpus=vcpus)
+    sanitizer = builder.machine.install_sanitizer()
+    return builder.machine, kernel, sanitizer
+
+
+def live_queues(machine):
+    """The scheduler's actual queue lists, via the generic view."""
+    return [queue for _, queue in machine.scheduler.runqueues_view()]
+
+
+@pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+def test_runqueue_rejects_non_runnable_member(scheduler):
+    machine, kernel, sanitizer = sanitized_stack(scheduler)
+    vcpu = kernel.domain.vcpus[1]
+    vcpu.state = VCPUState.BLOCKED
+    live_queues(machine)[0].append(vcpu)
+    with pytest.raises(InvariantViolation, match="queued"):
+        sanitizer.check_runqueues(machine.scheduler)
+
+
+@pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+def test_runqueue_rejects_double_membership(scheduler):
+    machine, kernel, sanitizer = sanitized_stack(scheduler)
+    vcpu = kernel.domain.vcpus[1]
+    vcpu.state = VCPUState.RUNNABLE
+    queues = live_queues(machine)
+    # Global-queue schedulers expose one list; duplicate membership in a
+    # single queue must be rejected the same as membership in two.
+    queues[0].append(vcpu)
+    queues[-1].append(vcpu)
+    with pytest.raises(InvariantViolation, match="two runqueues"):
+        sanitizer.check_runqueues(machine.scheduler)
+
+
+@pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+def test_runqueue_rejects_running_state_mismatch(scheduler):
+    machine, kernel, sanitizer = sanitized_stack(scheduler)
+    vcpu = kernel.domain.vcpus[1]
+    vcpu.state = VCPUState.RUNNABLE
+    machine.pool[0].current = vcpu
+    with pytest.raises(InvariantViolation, match="runs"):
+        sanitizer.check_runqueues(machine.scheduler)
+
+
+@pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+def test_charging_a_frozen_vcpu_raises(scheduler):
+    """Every scheduler's charge path routes through check_burn."""
+    machine, kernel, sanitizer = sanitized_stack(scheduler)
+    vcpu = kernel.domain.vcpus[1]
+    vcpu.state = VCPUState.FROZEN
+    with pytest.raises(InvariantViolation, match="while FROZEN"):
+        machine.scheduler.charge_domain(vcpu, 100)
+
+
+@pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+def test_charging_a_negative_interval_raises(scheduler):
+    machine, kernel, sanitizer = sanitized_stack(scheduler)
+    vcpu = kernel.domain.vcpus[0]
+    with pytest.raises(InvariantViolation, match="negative interval"):
+        machine.scheduler.charge_domain(vcpu, -1)
+
+
+@pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+def test_sanitized_freeze_cycle_runs_clean(scheduler):
+    """A real freeze/unfreeze workload sanitized, per scheduler."""
+    machine, kernel, sanitizer = sanitized_stack(scheduler)
+    for index in range(4):
+        kernel.spawn(busy(2 * SEC), f"w{index}")
+    machine.start()
+    machine.run(until=200 * MS)
+    balancer = VScaleBalancer(kernel)
+    balancer.freeze(1)
+    machine.run(until=machine.sim.now + 200 * MS)
+    balancer.unfreeze(1)
+    machine.run(until=machine.sim.now + 200 * MS)
+    assert sanitizer.violations == 0
+    # The universal hook sites fired (credit_conservation is credit-only).
+    for checker in ("credit_frozen_burn", "runqueue_state", "vcpu_transition"):
+        assert sanitizer.stats.get(checker, 0) > 0, checker
