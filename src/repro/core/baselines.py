@@ -64,16 +64,20 @@ class VCPUBalManager:
         config: VCPUBalConfig | None = None,
     ):
         from repro.guest.hotplug import XenBusCpuDriver
-        from repro.hypervisor.xenstore import XenStore
 
         self.kernel = kernel
         self.dom0 = dom0
         self.config = config or VCPUBalConfig()
         self.mechanism = HotplugMechanism(kernel, hotplug_model)
-        self.store = XenStore(kernel.machine)
+        #: The machine-wide store: decisions ride the same XenStore/XenBus
+        #: bus every other component (and the recovery checkpoints) sees.
+        self.store = kernel.machine.xenstore
         self.driver = XenBusCpuDriver(kernel, self.store, self.mechanism)
         self.reconfigurations = 0
         self._installed = False
+        #: True while a dom0 balancer outage has this manager degraded to
+        #: naive per-domain decisions.
+        self._degraded = False
         self.trace: list[tuple[int, int]] = []
 
     def install(self) -> None:
@@ -84,10 +88,50 @@ class VCPUBalManager:
 
     def _poll(self) -> None:
         machine = self.kernel.machine
+        faults = machine.faults
+        now = self.kernel.sim.now
+        if faults is not None and faults.balancer_outage(now, self.config.period_ns):
+            # Crash-stop outage of the centralized dom0 balancer: the
+            # global sweep is unreachable, so degrade to a naive local
+            # decision and keep polling for the service to come back.
+            if not self._degraded:
+                self._degraded = True
+                machine.tracer.emit(
+                    now, "fault", "balancer_outage", self.kernel.domain.name
+                )
+            self._naive_decide()
+            self.kernel.sim.schedule(self.config.period_ns, self._poll)
+            return
+        if self._degraded:
+            # Explicit re-sync: the first healthy poll after an outage
+            # runs the full centralized sweep from fresh dom0 data.
+            self._degraded = False
+            if faults is not None:
+                faults.recovery.balancer_resyncs += 1
+            machine.tracer.emit(
+                now, "vscale", "balancer_resync", self.kernel.domain.name
+            )
         # Centralized monitoring: dom0 reads every VM's consumption.  The
         # sampled latency delays the decision (and grows with #VMs).
         latency = self.dom0.sample_read_all_ns(len(machine.domains))
         self.kernel.sim.schedule(latency, self._decide)
+
+    def _naive_decide(self) -> None:
+        """Degraded fallback while dom0 is down: without pool-wide data
+        the safe per-domain move is availability — bring the lowest frozen
+        vCPU back online; never freeze blind."""
+        from repro.hypervisor.xenstore import availability_path
+
+        faults = self.kernel.machine.faults
+        if faults is not None:
+            faults.recovery.naive_fallback_decisions += 1
+        frozen = sorted(self.kernel.cpu_freeze_mask)
+        if frozen and not self.mechanism.busy:
+            self.store.write(
+                availability_path(self.kernel.domain.name, frozen[0]), "online"
+            )
+            self.reconfigurations += 1
+            self.trace.append((self.kernel.sim.now, self.kernel.online_vcpus))
 
     def _decide(self) -> None:
         from repro.hypervisor.xenstore import availability_path

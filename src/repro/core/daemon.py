@@ -13,6 +13,7 @@ assume a fixed processor count can disable it (``enabled=False`` or
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING
 
@@ -73,6 +74,11 @@ class DaemonConfig:
     #: Declare a missed period when the daemon wakes more than this many
     #: periods late, and resynchronize the timer.  0 disables the watchdog.
     watchdog_slack_periods: float = 0.0
+    #: Publish the hysteresis state (dwell direction, shrink votes) to a
+    #: single xenstore key after every decision, and restore it on restart
+    #: after a crash.  Off by default: the happy-path daemon never touches
+    #: xenstore for its own state.
+    durable_state: bool = False
 
     @classmethod
     def hardened(cls, **overrides) -> "DaemonConfig":
@@ -87,6 +93,16 @@ class DaemonConfig:
             params["dwell_ns"] = base.period_ns // 2
         if base.watchdog_slack_periods == 0.0:
             params["watchdog_slack_periods"] = 1.5
+        return cls(**params)
+
+    @classmethod
+    def crash_hardened(cls, **overrides) -> "DaemonConfig":
+        """The crash-recovery profile used by the chaos experiments:
+        :meth:`hardened` plus durable xenstore state, so a restarted
+        daemon resumes its dwell hysteresis instead of relearning it."""
+        base = cls.hardened(**overrides)
+        params = asdict(base)
+        params["durable_state"] = True
         return cls(**params)
 
 
@@ -142,6 +158,12 @@ class VScaleDaemon:
         #: -1 shrink) and when it was applied.
         self._last_direction = 0
         self._last_change_ns = 0
+        #: Set at restart after a crash; cleared (and folded into the
+        #: recovery-epoch counters) by the first period that completes a
+        #: fresh channel read — the reconvergence bound.
+        self._recovering_since: int | None = None
+        #: Last durable-state payload written, for write-on-change gating.
+        self._published: str | None = None
         #: (time_ns, online_vcpus) trace for Figure 8.
         self.trace: list[tuple[int, int]] = []
         self.thread: "Thread | None" = None
@@ -173,6 +195,11 @@ class VScaleDaemon:
         abort the rest of the plan for the period; a watchdog detects
         slept-through periods and resets the shrink-vote chain whose
         observations are no longer consecutive.
+
+        Crash-stop faults are modeled in-loop: a ``daemon_crash`` decision
+        from the injector wipes all volatile control state, parks the
+        thread for the restart delay, then runs the :meth:`_recover`
+        protocol before the next period.
         """
         kernel = self.kernel
         cfg = self.config
@@ -187,6 +214,24 @@ class VScaleDaemon:
             yield BlockOn(timer)
             if not self.enabled:
                 continue
+            if faults is not None:
+                restart_ns = faults.daemon_crash(kernel.sim.now, cfg.period_ns)
+                if restart_ns is not None:
+                    # Crash-stop: every piece of in-memory control state is
+                    # lost; the daemon is down until its restart fires.
+                    self._shrink_votes = 0
+                    self._last_direction = 0
+                    self._last_change_ns = 0
+                    self._published = None
+                    kernel.machine.tracer.emit(
+                        kernel.sim.now, "fault", "daemon_crash",
+                        kernel.domain.name, down_ns=restart_ns,
+                    )
+                    restart = SpinFlag("vscaled.restart")
+                    kernel.start_timer(restart_ns, restart)
+                    yield BlockOn(restart)
+                    self._recover(faults)
+                    continue
             if cfg.watchdog_slack_periods > 0.0:
                 late_ns = kernel.sim.now - armed_at - cfg.period_ns
                 if late_ns > cfg.watchdog_slack_periods * cfg.period_ns:
@@ -225,8 +270,21 @@ class VScaleDaemon:
                 # Expired data: hold the last-known-good vCPU count.
                 self.stats.stale_holds += 1
                 continue
+            if self._recovering_since is not None and faults is not None:
+                # Reconverged: a fresh reading is in hand, so decisions are
+                # live again.  Account the epochs the recovery spanned.
+                elapsed = kernel.sim.now - self._recovering_since
+                epochs = max(1, -(-elapsed // cfg.period_ns))
+                recovery = faults.recovery
+                recovery.recoveries += 1
+                recovery.recovery_epochs_total += epochs
+                recovery.recovery_epochs_max = max(
+                    recovery.recovery_epochs_max, epochs
+                )
+                self._recovering_since = None
             target = self._round_target(reading.extendability_ns, reading.n_opt)
             steps = self._decide(target)
+            self._publish_state()
             applied = 0
             for index, freeze in steps:
                 try:
@@ -252,6 +310,60 @@ class VScaleDaemon:
                     online=kernel.online_vcpus,
                     extendability_ns=reading.extendability_ns,
                 )
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _state_path(self) -> str:
+        return f"/vscale/{self.kernel.domain.name}/daemon/state"
+
+    def _publish_state(self) -> None:
+        """Publish the hysteresis state as ONE xenstore key (one JSON
+        value), so a reader never sees a torn multi-key update; single-key
+        commits are atomic.  Write-on-change keeps the store quiet."""
+        if not self.config.durable_state:
+            return
+        payload = json.dumps(
+            {
+                "direction": self._last_direction,
+                "last_change_ns": self._last_change_ns,
+                "shrink_votes": self._shrink_votes,
+            },
+            sort_keys=True,
+        )
+        if payload == self._published:
+            return
+        self._published = payload
+        self.kernel.machine.xenstore.write(self._state_path(), payload)
+
+    def _recover(self, faults) -> None:
+        """Restart protocol: rebuild the control state after a crash.
+
+        With durable state enabled the last committed xenstore snapshot is
+        reloaded (a crash between write and commit simply reads the
+        previous complete state — never a torn one).  Without it the
+        daemon relearns its hysteresis from scratch; either way the
+        reconvergence clock starts now and stops at the first fresh read.
+        """
+        kernel = self.kernel
+        faults.recovery.daemon_restarts += 1
+        self._recovering_since = kernel.sim.now
+        if self.config.durable_state:
+            store = kernel.machine.xenstore
+            path = self._state_path()
+            if store.exists(path):
+                try:
+                    saved = json.loads(store.read(path))
+                except ValueError:
+                    saved = None
+                if isinstance(saved, dict):
+                    self._last_direction = int(saved.get("direction", 0))
+                    self._last_change_ns = int(saved.get("last_change_ns", 0))
+                    self._shrink_votes = int(saved.get("shrink_votes", 0))
+                    faults.recovery.state_restores += 1
+        kernel.machine.tracer.emit(
+            kernel.sim.now, "vscale", "daemon_restart", kernel.domain.name
+        )
 
     def _round_target(self, extendability_ns: int, n_opt: int) -> int:
         """Turn extendability into a vCPU target per the rounding policy.

@@ -1,0 +1,281 @@
+"""The ``chaos`` experiment: crash-stop faults and recovery protocols.
+
+A profile grid running one synchronization-heavy NPB app under seeded
+crash schedules (:func:`repro.faults.chaos.generate_plan`):
+
+* ``none``   — the healthy baseline every other profile is compared to;
+* ``crash``  — vScale daemon crash-stops (state lost, rebuilt from the
+  durable xenstore snapshot on restart);
+* ``hang``   — wedged vCPUs cleared by the hang watchdog's
+  freeze/unfreeze cycle;
+* ``mixed``  — crashes and hangs together;
+* ``outage`` — dom0 balancer outages degrading VCPU-Bal to naive
+  per-domain decisions (runs the VANILLA + VCPU-Bal stack, so its
+  slowdown column compares mechanism-internal degradation, not vScale).
+
+Immediately before every scripted daemon crash the harness captures a
+deterministic :class:`~repro.recovery.checkpoint.Checkpoint` — snapshots
+are pure, so the run is bit-identical to never snapshotting — and the
+cell reports their fingerprints alongside the recovery counters
+(:class:`repro.recovery.RecoveryStats`).  The claim under test: every
+crash-stop fault has a bounded, explicit recovery path, and the
+machinery for proving it (checkpoint/restore) does not perturb the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.daemon import DaemonConfig
+from repro.experiments.setups import Config, ScenarioBuilder, run_until_done
+from repro.faults.chaos import generate_plan
+from repro.metrics.report import Table
+from repro.parallel import CellSpec, ParallelExecutor, get_default_executor
+from repro.sim.rng import SeedSequenceFactory
+from repro.units import SEC
+from repro.workloads.npb import NPBApp, NPB_PROFILES
+from repro.workloads.openmp import SPINCOUNT_DEFAULT
+
+#: The fault profiles of the grid, in report order.
+PROFILES = ("none", "crash", "hang", "mixed", "outage")
+DEFAULT_APP = "cg"
+WARMUP_NS = 2 * SEC
+#: App-phase window the scripted fault instants are spread over at full
+#: work scale; shrunk with ``work_scale`` so faults still land inside
+#: scaled-down runs.
+APP_WINDOW_NS = 4 * SEC
+#: Seed of the crash schedule, independent of the workload seed.
+CHAOS_SEED = 17
+
+
+@dataclass
+class ChaosCell:
+    """One (profile) cell of the chaos grid."""
+
+    profile: str
+    app: str
+    duration_ns: int
+    wait_ns: int
+    #: Checkpoints captured immediately before scripted daemon crashes.
+    snapshots_taken: int
+    #: Their SHA-256 state fingerprints, in capture order.
+    snapshot_fingerprints: list[str] = field(default_factory=list)
+    #: :meth:`repro.recovery.RecoveryStats.to_dict`, {} for ``none``.
+    recovery: dict = field(default_factory=dict)
+    #: The daemon's degradation counters, {} for the ``outage`` profile.
+    daemon: dict = field(default_factory=dict)
+
+
+def _build_plan(profile: str, chaos_seed: int, work_scale: float):
+    window = WARMUP_NS + max(SEC, round(APP_WINDOW_NS * work_scale))
+    if profile == "none":
+        return None
+    if profile == "crash":
+        return generate_plan(chaos_seed, window, daemon_crashes=2)
+    # Hang targets draw from 1..vcpus-1; vcpus=2 pins them to vCPU 1,
+    # which the daemon keeps online on the consolidated host (the higher
+    # indices spend most of the run frozen, leaving a hang no surface).
+    if profile == "hang":
+        return generate_plan(chaos_seed, window, vcpu_hangs=2, vcpus=2)
+    if profile == "mixed":
+        return generate_plan(
+            chaos_seed, window, daemon_crashes=2, vcpu_hangs=1, vcpus=2
+        )
+    if profile == "outage":
+        return generate_plan(chaos_seed, window, balancer_outages=2)
+    raise ValueError(f"unknown chaos profile {profile!r}")
+
+
+def run_chaos_cell(
+    profile: str,
+    app_name: str = DEFAULT_APP,
+    seed: int = 3,
+    work_scale: float = 1.0,
+    chaos_seed: int = CHAOS_SEED,
+    scheduler: str | None = None,
+) -> ChaosCell:
+    """Run one profile cell on the consolidated 8-pCPU host.
+
+    The vScale-path profiles run the :meth:`DaemonConfig.crash_hardened`
+    daemon (durable xenstore state) plus the hang watchdog; ``outage``
+    runs VANILLA with the centralized VCPU-Bal manager, whose degraded
+    mode the outage exercises.
+    """
+    if app_name not in NPB_PROFILES:
+        raise KeyError(f"unknown NPB app {app_name!r}")
+    if profile not in PROFILES:
+        raise ValueError(f"unknown chaos profile {profile!r}")
+    seeds = SeedSequenceFactory(seed)
+    plan = _build_plan(profile, chaos_seed, work_scale)
+
+    manager = None
+    if profile == "outage":
+        from repro.core.baselines import VCPUBalManager
+        from repro.guest.hotplug import HotplugModel
+        from repro.hypervisor.dom0 import Dom0Load, Dom0Toolstack
+
+        scenario = (
+            ScenarioBuilder(seed=seed, pcpus=8)
+            .with_worker_vm(4)
+            .with_config(Config.VANILLA)
+            .with_scheduler(scheduler)
+            .with_faults(plan)
+            .build()
+        )
+        dom0 = Dom0Toolstack(seeds.generator("dom0"), load=Dom0Load.IDLE)
+        model = HotplugModel("v3.14.15", seeds.generator("hp"))
+        manager = VCPUBalManager(scenario.worker_kernel, dom0, model)
+        manager.install()
+    else:
+        builder = (
+            ScenarioBuilder(seed=seed, pcpus=8)
+            .with_worker_vm(4)
+            .with_config(Config.VSCALE)
+            .with_scheduler(scheduler)
+            .with_faults(plan)
+            .with_watchdog(profile in ("hang", "mixed"))
+        )
+        builder.daemon_config = DaemonConfig.crash_hardened()
+        scenario = builder.build()
+
+    # Snapshot immediately before every scripted daemon crash: snapshots
+    # are pure, so these events leave the run bit-identical.
+    machine = scenario.machine
+    checkpoints: list = []
+    if plan is not None:
+        for event in plan.events:
+            if event.site == "daemon_crash":
+                machine.sim.schedule_at(
+                    event.at_ns, lambda: checkpoints.append(machine.snapshot())
+                )
+
+    scenario.start()
+    scenario.run(WARMUP_NS)
+
+    npb_profile = NPB_PROFILES[app_name]
+    if work_scale != 1.0:
+        npb_profile = replace(
+            npb_profile, iterations=max(2, round(npb_profile.iterations * work_scale))
+        )
+    domain = scenario.worker_domain
+    wait0 = domain.total_wait_ns(machine.sim.now)
+    app = NPBApp(
+        scenario.worker_kernel,
+        npb_profile,
+        SPINCOUNT_DEFAULT,
+        seeds.stream("npb", "normal"),
+        kernel_lock=scenario.worker_kernel_lock,
+    )
+    app.launch()
+    duration = run_until_done(scenario, app)
+    wait = domain.total_wait_ns(machine.sim.now) - wait0
+
+    stats = scenario.daemon.stats if scenario.daemon is not None else None
+    return ChaosCell(
+        profile=profile,
+        app=app_name,
+        duration_ns=duration,
+        wait_ns=wait,
+        snapshots_taken=len(checkpoints),
+        snapshot_fingerprints=[c.fingerprint for c in checkpoints],
+        recovery=(
+            machine.faults.recovery.to_dict() if machine.faults is not None else {}
+        ),
+        daemon=stats.to_dict() if stats else {},
+    )
+
+
+@dataclass
+class ChaosResult:
+    """The assembled chaos grid."""
+
+    #: profile -> cell
+    cells: dict = field(default_factory=dict)
+
+    def slowdown(self, profile: str) -> float:
+        """Duration relative to the healthy ``none`` baseline."""
+        base = self.cells["none"].duration_ns if "none" in self.cells else None
+        if not base:
+            return 1.0
+        return self.cells[profile].duration_ns / base
+
+    def render(self) -> str:
+        table = Table(
+            "Chaos grid: crash-stop faults and recovery",
+            [
+                "profile", "time (s)", "slowdown", "crashes", "restores",
+                "hangs", "clears", "outages", "resyncs", "rec epochs",
+                "snapshots",
+            ],
+        )
+        for profile in PROFILES:
+            if profile not in self.cells:
+                continue
+            cell = self.cells[profile]
+            rec = cell.recovery
+            epochs = (
+                rec.get("recovery_epochs_total", 0) / rec.get("recoveries", 1)
+                if rec.get("recoveries")
+                else 0.0
+            )
+            table.add_row(
+                profile,
+                cell.duration_ns / 1e9,
+                self.slowdown(profile),
+                rec.get("daemon_crashes", 0),
+                rec.get("state_restores", 0),
+                rec.get("hangs_injected", 0),
+                rec.get("watchdog_clears", 0),
+                rec.get("balancer_outages", 0),
+                rec.get("balancer_resyncs", 0),
+                epochs,
+                cell.snapshots_taken,
+            )
+        return table.render()
+
+
+def cells(
+    profiles: tuple[str, ...] = PROFILES,
+    app_name: str = DEFAULT_APP,
+    seed: int = 3,
+    work_scale: float = 1.0,
+    chaos_seed: int = CHAOS_SEED,
+    scheduler: str | None = None,
+) -> list[CellSpec]:
+    """Decompose the chaos grid into independent cells."""
+    specs = []
+    for profile in profiles:
+        name = f"{app_name}/{profile}"
+        kwargs = dict(
+            profile=profile,
+            app_name=app_name,
+            seed=seed,
+            work_scale=work_scale,
+            chaos_seed=chaos_seed,
+        )
+        if scheduler is not None:
+            name += f"/sched={scheduler}"
+            kwargs["scheduler"] = scheduler
+        specs.append(
+            CellSpec(experiment="chaos", name=name, fn=run_chaos_cell, kwargs=kwargs)
+        )
+    return specs
+
+
+def run(
+    profiles: tuple[str, ...] = PROFILES,
+    app_name: str = DEFAULT_APP,
+    seed: int = 3,
+    work_scale: float = 1.0,
+    chaos_seed: int = CHAOS_SEED,
+    scheduler: str | None = None,
+    executor: ParallelExecutor | None = None,
+) -> ChaosResult:
+    """Run the chaos grid on the parallel executor."""
+    if executor is None:
+        executor = get_default_executor()
+    result = ChaosResult()
+    specs = cells(profiles, app_name, seed, work_scale, chaos_seed, scheduler)
+    for cell in executor.run_cells(specs):
+        result.cells[cell.profile] = cell
+    return result

@@ -186,11 +186,14 @@ class FaultMatrixResult:
             [
                 "app", "mechanism", "rate", "time (s)", "slowdown",
                 "reconfigs", "flaps", "suppressed", "stale holds",
-                "read fails", "injected",
+                "read fails", "retries", "abandons", "resyncs", "injected",
             ],
         )
         for (app, mechanism, rate) in sorted(self.cells):
             cell = self.cells[(app, mechanism, rate)]
+            # Recovery counters ride the daemon dict so old cached cells
+            # (and the hotplug baseline, which has no daemon) render as 0.
+            daemon = cell.daemon
             table.add_row(
                 app,
                 cell.mechanism,
@@ -202,6 +205,9 @@ class FaultMatrixResult:
                 cell.flaps_suppressed,
                 cell.stale_holds,
                 cell.read_failures,
+                daemon.get("read_retries", 0),
+                daemon.get("read_abandons", 0),
+                daemon.get("watchdog_resyncs", 0),
                 sum(cell.injected.values()) if cell.injected else 0,
             )
         return table.render()

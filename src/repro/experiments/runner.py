@@ -170,6 +170,12 @@ def _faults(scale: float, executor: ParallelExecutor, scheduler: str | None = No
     return faults.run(work_scale=scale, scheduler=scheduler, executor=executor)
 
 
+def _chaos(scale: float, executor: ParallelExecutor, scheduler: str | None = None):
+    from repro.experiments import chaos
+
+    return chaos.run(work_scale=scale, scheduler=scheduler, executor=executor)
+
+
 def _generality(scale: float, executor: ParallelExecutor, scheduler: str | None = None):
     from repro.experiments import generality
 
@@ -200,12 +206,13 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[float, ParallelExecutor], object]]] 
     "variance": ("seed-variance error bars (cg)", _variance),
     "ablations": ("design-choice ablations", _ablations),
     "faults": ("fault-rate x workload robustness matrix", _faults),
+    "chaos": ("crash-stop faults and recovery protocols", _chaos),
     "generality": ("scheduler-zoo n_i = ceil(s_ext/t) grid", _generality),
 }
 
 #: Experiments whose grids accept a ``--scheduler`` override.  The rest
 #: always run on the default scheduler (their goldens pin its behavior).
-SCHEDULER_AWARE = {"fig6", "fig7", "faults", "generality"}
+SCHEDULER_AWARE = {"fig6", "fig7", "faults", "chaos", "generality"}
 
 
 def build_executor(args: argparse.Namespace) -> ParallelExecutor:

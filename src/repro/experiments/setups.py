@@ -23,6 +23,7 @@ from repro.guest.sync import KernelSpinLock
 from repro.hypervisor.config import HostConfig
 from repro.hypervisor.domain import Domain
 from repro.hypervisor.machine import Machine
+from repro.recovery.watchdog import HangWatchdog
 from repro.sim.rng import SeedSequenceFactory
 from repro.units import MS, SEC
 from repro.workloads.desktop import PhotoSlideshow, SlideshowConfig
@@ -60,6 +61,8 @@ class Scenario:
     daemon: VScaleDaemon | None
     background: list[PhotoSlideshow] = field(default_factory=list)
     config: Config = Config.VANILLA
+    #: Hang watchdog on the worker guest, when requested (chaos runs).
+    watchdog: HangWatchdog | None = None
 
     def start(self) -> None:
         self.machine.start()
@@ -83,6 +86,7 @@ class ScenarioBuilder:
         self.daemon_config: DaemonConfig | None = None
         self.slideshow_config: SlideshowConfig | None = None
         self.fault_plan: FaultPlan | None = None
+        self.install_watchdog = False
         self.consolidation = 2.0  # average vCPUs per pCPU
 
     # -- fluent knobs ---------------------------------------------------
@@ -108,6 +112,12 @@ class ScenarioBuilder:
 
     def with_faults(self, plan: FaultPlan | None) -> "ScenarioBuilder":
         self.fault_plan = plan
+        return self
+
+    def with_watchdog(self, install: bool = True) -> "ScenarioBuilder":
+        """Install a :class:`HangWatchdog` on the worker guest, which also
+        injects the plan's scripted ``vcpu_hang`` faults."""
+        self.install_watchdog = install
         return self
 
     # -- build -----------------------------------------------------------
@@ -153,6 +163,10 @@ class ScenarioBuilder:
         if self.config.uses_vscale:
             daemon = VScaleDaemon(worker_kernel, self.daemon_config)
             daemon.install()
+        watchdog = None
+        if self.install_watchdog:
+            watchdog = HangWatchdog(worker_kernel)
+            watchdog.install()
 
         return Scenario(
             machine=machine,
@@ -162,6 +176,7 @@ class ScenarioBuilder:
             daemon=daemon,
             background=background,
             config=self.config,
+            watchdog=watchdog,
         )
 
 

@@ -6,9 +6,17 @@ build without this package; with a plan, every fault decision derives
 from the plan seed and the same run replays exactly.
 """
 
+from repro.faults.chaos import generate_plan
 from repro.faults.errors import ChannelReadError, FaultError, FreezeFailure
 from repro.faults.injector import FaultInjector, FaultStats
-from repro.faults.plan import NO_FAULTS, FaultConfig, FaultEvent, FaultPlan
+from repro.faults.plan import (
+    NO_FAULTS,
+    SCRIPTED_SITES,
+    FaultConfig,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.recovery.stats import RecoveryStats
 
 __all__ = [
     "ChannelReadError",
@@ -20,4 +28,7 @@ __all__ = [
     "FaultStats",
     "FreezeFailure",
     "NO_FAULTS",
+    "RecoveryStats",
+    "SCRIPTED_SITES",
+    "generate_plan",
 ]

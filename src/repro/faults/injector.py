@@ -22,6 +22,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.hypervisor.irq import IRQClass
+from repro.recovery.stats import RecoveryStats
 from repro.sim.rng import BufferedStream, SeedSequenceFactory
 
 
@@ -72,12 +73,18 @@ class FaultInjector:
         self.plan = plan
         self.config = plan.config
         self.stats = FaultStats()
+        self.recovery = RecoveryStats()
         self._seeds = SeedSequenceFactory(plan.seed)
         self._scripted = _ScriptedState()
         # Per-site buffered streams, cached so the hot decision paths skip
         # the factory's dict+format lookup on every query.
         self._hit_streams: dict[str, BufferedStream] = {}
         self._delay_streams: dict[str, BufferedStream] = {}
+        # Balancer outage bookkeeping: end of the current stochastic
+        # outage, plus which scripted outage windows already counted an
+        # onset (windows span several polls but are one outage each).
+        self._balancer_down_until = -1
+        self._outage_onsets_seen: set[int] = set()
 
     # ------------------------------------------------------------------
     # Decision primitives
@@ -193,3 +200,64 @@ class FaultInjector:
             self.stats.dom0_bursts += 1
             return self.config.dom0_burst_factor
         return 1.0
+
+    # ------------------------------------------------------------------
+    # Crash-stop sites (recovery protocols live in repro.recovery and the
+    # daemon/balancer control loops; the injector only decides *when*).
+    # ------------------------------------------------------------------
+    def daemon_crash(self, now_ns: int, period_ns: int) -> int | None:
+        """Whether the daemon crash-stops during the period starting now.
+
+        Returns the restart delay in ns (how long the process stays
+        down) when a crash fires, else None.  Scripted ``daemon_crash``
+        events use their ``duration_ns`` as the restart delay when set.
+
+        The window reaches back to t=0: successive daemon polls are
+        spaced ``period + work_time`` apart, so a forward-only window
+        would leave gaps that silently swallow a scripted crash.  A
+        crash-stop is not a transient — a past-due event fires at the
+        next poll instead of being lost.
+        """
+        scripted = self._take_scripted("daemon_crash", 0, now_ns + period_ns)
+        if scripted is not None:
+            self.recovery.daemon_crashes += 1
+            return scripted.duration_ns or self.config.daemon_restart_delay_ns
+        if self._hit("daemon.crash", self.config.daemon_crash_rate):
+            self.recovery.daemon_crashes += 1
+            return self.config.daemon_restart_delay_ns
+        return None
+
+    def balancer_outage(self, now_ns: int, period_ns: int) -> bool:
+        """Whether dom0's balancer is unresponsive at this poll."""
+        for index, event in enumerate(self.plan.events):
+            if event.site != "balancer_outage":
+                continue
+            if event.at_ns > now_ns:
+                break
+            if now_ns < event.at_ns + max(1, event.duration_ns):
+                if index not in self._outage_onsets_seen:
+                    self._outage_onsets_seen.add(index)
+                    self.recovery.balancer_outages += 1
+                return True
+        if now_ns < self._balancer_down_until:
+            return True
+        if self._hit("balancer.outage", self.config.balancer_outage_rate):
+            self.recovery.balancer_outages += 1
+            self._balancer_down_until = (
+                now_ns + self.config.balancer_outage_periods * period_ns
+            )
+            return True
+        return False
+
+    def hang_schedule(self) -> list[tuple[int, int]]:
+        """Scripted vCPU hang onsets as ``(at_ns, vcpu_index)`` pairs.
+
+        ``magnitude`` carries the target vCPU index; the watchdog
+        schedules the onsets eagerly at install time, so unlike the
+        window sites nothing is consumed lazily here.
+        """
+        return [
+            (event.at_ns, int(event.magnitude))
+            for event in self.plan.events
+            if event.site == "vcpu_hang"
+        ]

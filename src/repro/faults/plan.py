@@ -16,7 +16,8 @@ parallel executor's cache keys.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+import json
+from dataclasses import asdict, dataclass, fields, replace
 
 from repro.units import MS, US
 
@@ -29,6 +30,20 @@ _RATE_FIELDS = (
     "daemon_stall_rate",
     "freeze_fail_rate",
     "dom0_burst_rate",
+    "daemon_crash_rate",
+    "balancer_outage_rate",
+)
+
+#: Valid ``FaultEvent.site`` names.  The transient sites arrived with the
+#: original fault model; the crash-stop sites (``daemon_crash``,
+#: ``vcpu_hang``, ``balancer_outage``) model process-level failures that
+#: need an explicit recovery protocol rather than in-place retry.
+SCRIPTED_SITES = (
+    "daemon_stall",
+    "dom0_burst",
+    "daemon_crash",
+    "vcpu_hang",
+    "balancer_outage",
 )
 
 
@@ -68,6 +83,16 @@ class FaultConfig:
     dom0_burst_rate: float = 0.0
     #: Latency multiplier applied to a bursting dom0 sweep.
     dom0_burst_factor: float = 8.0
+    #: Probability one daemon wakeup crashes the daemon process instead
+    #: of completing (crash-stop: all volatile control state is lost and
+    #: must be rebuilt from durable xenstore state on restart).
+    daemon_crash_rate: float = 0.0
+    #: How long a crashed daemon stays down before its restart path runs.
+    daemon_restart_delay_ns: int = 20 * MS
+    #: Probability one balancer poll finds dom0's balancer unresponsive.
+    balancer_outage_rate: float = 0.0
+    #: Length of a stochastic balancer outage, in polling periods.
+    balancer_outage_periods: int = 2
 
     def __post_init__(self) -> None:
         for name in _RATE_FIELDS:
@@ -82,6 +107,10 @@ class FaultConfig:
             raise ValueError("daemon_stall_periods must be at least 1")
         if self.dom0_burst_factor < 1.0:
             raise ValueError("dom0_burst_factor must be at least 1.0")
+        if self.daemon_restart_delay_ns <= 0:
+            raise ValueError("daemon_restart_delay_ns must be positive")
+        if self.balancer_outage_periods < 1:
+            raise ValueError("balancer_outage_periods must be at least 1")
 
     @property
     def any_enabled(self) -> bool:
@@ -95,7 +124,10 @@ class FaultConfig:
         One knob drives every site: per-event sites take ``rate``
         directly, while the heavy whole-period faults (IPI loss, daemon
         stalls) are derated so a 10% matrix point stresses the loop
-        without starving it outright.
+        without starving it outright.  Crash-stop sites (daemon crash,
+        balancer outage) stay at zero — they belong to the chaos
+        profiles, and enabling them here would shift the pinned
+        fault-matrix goldens.
         """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
@@ -127,10 +159,11 @@ class FaultEvent:
     """A scripted fault window, for scenarios that need exact timing.
 
     Scripted events complement the stochastic rates: ``site`` names the
-    injection point (currently ``"daemon_stall"`` and ``"dom0_burst"``),
-    ``at_ns`` when the window opens, ``duration_ns`` how long it lasts,
-    and ``magnitude`` a site-specific strength (stall length in periods,
-    burst latency factor).  Each event fires at most once.
+    injection point (one of :data:`SCRIPTED_SITES`), ``at_ns`` when the
+    window opens, ``duration_ns`` how long it lasts, and ``magnitude`` a
+    site-specific strength (stall length in periods, burst latency
+    factor, hung vCPU index for ``vcpu_hang``).  Each event fires at
+    most once, except ``vcpu_hang`` onsets which are scheduled eagerly.
     """
 
     at_ns: int
@@ -143,7 +176,7 @@ class FaultEvent:
             raise ValueError("at_ns cannot be negative")
         if self.duration_ns < 0:
             raise ValueError("duration_ns cannot be negative")
-        if self.site not in ("daemon_stall", "dom0_burst"):
+        if self.site not in SCRIPTED_SITES:
             raise ValueError(f"unknown scripted fault site {self.site!r}")
 
 
@@ -167,6 +200,61 @@ class FaultPlan:
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip — chaos schedules must be saveable for replay and
+    # bug reports, so a plan serializes to stable, sorted-key JSON and
+    # deserializes to an equal plan (events re-sort canonically).
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "config": asdict(self.config),
+            "seed": self.seed,
+            "events": [asdict(event) for event in self.events],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed fault plan JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan JSON must be an object")
+        if set(payload) != {"config", "seed", "events"}:
+            raise ValueError(
+                "fault plan JSON must have exactly the keys "
+                f"config/seed/events, got {sorted(payload)}"
+            )
+        known = {f.name for f in fields(FaultConfig)}
+        raw_config = payload.get("config", {})
+        if not isinstance(raw_config, dict):
+            raise ValueError("fault plan 'config' must be an object")
+        unknown = sorted(set(raw_config) - known)
+        if unknown:
+            raise ValueError(f"unknown fault config fields: {unknown}")
+        raw_events = payload.get("events", [])
+        if not isinstance(raw_events, list):
+            raise ValueError("fault plan 'events' must be a list")
+        event_fields = {f.name for f in fields(FaultEvent)}
+        events = []
+        for raw in raw_events:
+            if not isinstance(raw, dict) or not set(raw) <= event_fields:
+                raise ValueError(f"malformed fault event entry: {raw!r}")
+            try:
+                events.append(FaultEvent(**raw))
+            except TypeError as exc:
+                raise ValueError(f"malformed fault event entry: {raw!r}") from exc
+        try:
+            config = FaultConfig(**raw_config)
+        except TypeError as exc:
+            raise ValueError(f"malformed fault config: {exc}") from exc
+        return cls(
+            config=config,
+            seed=int(payload.get("seed", 0)),
+            events=tuple(events),
+        )
 
 
 #: Convenience: the plan that injects nothing.

@@ -15,6 +15,7 @@ from repro.hypervisor.config import HostConfig
 from repro.hypervisor.domain import Domain, VCPU, VCPUState
 from repro.hypervisor.schedulers import create as create_scheduler
 from repro.hypervisor.irq import IRQ, IRQClass
+from repro.hypervisor.xenstore import XenStore
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import SeedSequenceFactory
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -22,6 +23,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.extendability import VScaleExtension
     from repro.faults import FaultInjector, FaultPlan
+    from repro.recovery.checkpoint import Checkpoint
     from repro.sanitize import Sanitizer
 
 
@@ -107,6 +109,10 @@ class Machine:
         self.tracer = tracer or NULL_TRACER
         self.pool = [PCPU(self, i) for i in range(self.config.pcpus)]
         self.domains: list[Domain] = []
+        #: The host's xenstore instance — the durable state substrate the
+        #: recovery protocols (daemon restart, balancer re-sync) read back.
+        #: Construction schedules nothing, so it is bit-identity safe.
+        self.xenstore = XenStore(self)
         # Registry lookup: an explicit config name wins, then the
         # REPRO_SCHEDULER environment variable, then the credit default.
         self.scheduler = create_scheduler(self.config.scheduler, self)
@@ -436,6 +442,30 @@ class Machine:
         if self.vscale is None:
             raise RuntimeError("vScale extension not installed on this host")
         return self.vscale.read(domain)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (see repro.recovery.checkpoint for the format)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Checkpoint":
+        """Capture a deterministic checkpoint of the whole simulation.
+
+        Local import: repro.recovery imports machine types, so importing
+        it at module scope would cycle.
+        """
+        from repro.recovery.checkpoint import capture
+
+        return capture(self)
+
+    @staticmethod
+    def restore(checkpoint: "Checkpoint", build: Callable[[], "Machine"]):
+        """Rebuild via ``build()`` and replay to the checkpoint's instant.
+
+        Returns the restored machine; raises ``RestoreMismatch`` when the
+        replayed state does not fingerprint-match the checkpoint.
+        """
+        from repro.recovery.checkpoint import restore as restore_checkpoint
+
+        return restore_checkpoint(checkpoint, build)
 
     # ------------------------------------------------------------------
     # Pool introspection

@@ -126,6 +126,30 @@ class Scheduler:
         """
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the scheduler's dispatch state.
+
+        Used by checkpoint/restore equivalence checks: two scheduler
+        instances with equal state dicts will make identical future
+        dispatch decisions.  The shared part covers the runqueues (as
+        ordered vCPU names) and the backlog; policy-private state —
+        vruntimes, credit epochs, parked domains — comes from
+        :meth:`_state_extra`, which every zoo scheduler overrides.
+        """
+        return {
+            "name": self.name,
+            "runqueues": {
+                label: [f"{v.domain.name}/{v.index}" for v in queue]
+                for label, queue in self.runqueues_view()
+            },
+            "backlog": self.runnable_backlog(),
+            "extra": self._state_extra(),
+        }
+
+    def _state_extra(self) -> dict:
+        """Policy-private state folded into :meth:`state_dict`."""
+        return {}
+
     # ------------------------------------------------------------------
     # Shared accounting helper
     # ------------------------------------------------------------------

@@ -164,3 +164,17 @@ class CfsScheduler(QueueScheduler):
     def runqueues_view(self) -> Iterator[tuple[str, list[VCPU]]]:
         for pcpu, queue in self.queues.items():
             yield pcpu.name, queue
+
+    def _state_extra(self) -> dict:
+        return {
+            "vruntime": {
+                f"{v.domain.name}/{v.index}": vrt
+                for v, vrt in sorted(
+                    self.vruntime.items(),
+                    key=lambda item: (item[0].domain.name, item[0].index),
+                )
+            },
+            "min_vruntime": {
+                pcpu.name: vrt for pcpu, vrt in self.min_vruntime.items()
+            },
+        }

@@ -507,3 +507,9 @@ class CreditScheduler(Scheduler):
     def runqueues_view(self) -> Iterator[tuple[str, list[VCPU]]]:
         for pcpu, queue in self.runqueues.items():
             yield pcpu.name, queue
+
+    def _state_extra(self) -> dict:
+        return {
+            "tick_count": self._tick_count,
+            "parked": sorted(d.name for d in self._parked),
+        }

@@ -164,3 +164,8 @@ class Credit2Scheduler(QueueScheduler):
     def runqueues_view(self) -> Iterator[tuple[str, list[VCPU]]]:
         for pcpu, queue in self.queues.items():
             yield pcpu.name, queue
+
+    def _state_extra(self) -> dict:
+        # Balances live on the vCPUs (captured with domain state); the
+        # only policy-private knob is the reset grant.
+        return {"credit_init": self.credit_init}

@@ -71,3 +71,6 @@ class RoundRobinScheduler(QueueScheduler):
 
     def runqueues_view(self) -> Iterator[tuple[str, list[VCPU]]]:
         yield "pool", self.queue
+
+    def _state_extra(self) -> dict:
+        return {"tickled": self._tickled}

@@ -285,3 +285,15 @@ class VrtScheduler(Scheduler):
 
     def runqueues_view(self) -> Iterator[tuple[str, list[VCPU]]]:
         yield "pool", self.waiting
+
+    def _state_extra(self) -> dict:
+        return {
+            "vruntime": {
+                f"{v.domain.name}/{v.index}": vrt
+                for v, vrt in sorted(
+                    self.vruntime.items(),
+                    key=lambda item: (item[0].domain.name, item[0].index),
+                )
+            },
+            "min_vruntime": self._min_vruntime,
+        }

@@ -1,0 +1,32 @@
+"""Crash-stop recovery protocols and deterministic checkpoint/restore.
+
+Three layers (see DESIGN.md §12):
+
+* :mod:`repro.recovery.stats` — crash/recovery counters, attached to the
+  fault injector as ``FaultInjector.recovery``;
+* :mod:`repro.recovery.watchdog` — the guest-side vCPU hang watchdog;
+* :mod:`repro.recovery.checkpoint` — replay-based ``Machine.snapshot()``
+  / ``Machine.restore()`` with fingerprint verification.
+"""
+
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    RestoreMismatch,
+    capture,
+    fingerprint,
+    restore,
+    state_dict,
+)
+from repro.recovery.stats import RecoveryStats
+from repro.recovery.watchdog import HangWatchdog
+
+__all__ = [
+    "Checkpoint",
+    "HangWatchdog",
+    "RecoveryStats",
+    "RestoreMismatch",
+    "capture",
+    "fingerprint",
+    "restore",
+    "state_dict",
+]

@@ -1,0 +1,207 @@
+"""Deterministic checkpoint/restore for a whole simulated machine.
+
+The simulation cannot be pickled mid-run — guest thread behaviours are
+live generators — so checkpoints are *replay-based*: a snapshot is a
+canonical, JSON-able ``state_dict`` of everything that determines future
+execution (engine queue, RNG stream positions, scheduler runqueues,
+domain/vCPU/guest/channel state, xenstore tree, fault-injector position)
+plus a SHA-256 fingerprint of that state.  ``restore`` rebuilds the
+scenario from its deterministic factory, replays the simulator to the
+checkpoint instant, and verifies the replayed state fingerprints
+identically — at which point continuing the run is bit-identical to
+never having stopped (the simulator is deterministic, and determinism
+plus equal state implies equal futures).
+
+Compatibility note: the state format is keyed by stable names (domain
+names, ``domain/index`` vCPU labels, thread names, callback qualnames),
+never by object identity or the process-global thread-id counter, so
+fingerprints compare across independently built machines in the same or
+different processes.  The format is versioned (``FORMAT_VERSION``);
+bumping it invalidates stored checkpoints, never silently misreads them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+
+FORMAT_VERSION = 1
+
+
+class RestoreMismatch(RuntimeError):
+    """Replayed state does not match the checkpoint it claims to restore."""
+
+
+def _vcpu_state(vcpu) -> dict:
+    return {
+        "state": vcpu.state.value,
+        "priority": int(vcpu.priority),
+        "credits": vcpu.credits,
+        "pcpu": vcpu.pcpu.index if vcpu.pcpu is not None else None,
+        "last_pcpu": vcpu.last_pcpu.index if vcpu.last_pcpu is not None else None,
+        "boosted": vcpu.boosted,
+        "freeze_pending": vcpu.freeze_pending,
+        "run_started_at": vcpu.run_started_at,
+        "pending_irqs": [irq.irq_class.value for irq in vcpu.pending_irqs],
+        "irq_delivered": vcpu.irq_delivered.value,
+        "ipi_received": vcpu.ipi_received.value,
+    }
+
+
+def _guest_state(guest) -> dict | None:
+    """Guest-kernel state, via getattr guards: non-kernel guests (plain
+    test doubles) contribute whatever subset of the surface they have."""
+    if guest is None:
+        return None
+    state: dict = {}
+    online = getattr(guest, "online_vcpus", None)
+    if callable(online):
+        state["online_vcpus"] = online()
+    mask = getattr(guest, "cpu_freeze_mask", None)
+    if mask is not None:
+        state["freeze_mask"] = sorted(mask)
+    threads = getattr(guest, "threads", None)
+    if threads is not None:
+        # Keyed by name, not tid: tids come from a process-global counter
+        # and differ between a straight run and a rebuilt twin.
+        state["threads"] = [
+            {
+                "name": t.name,
+                "state": t.state.value,
+                "vcpu": t.vcpu_index,
+                "vruntime": t.vruntime,
+                "exec_ns": t.exec_ns,
+                "migrations": t.migrations,
+            }
+            for t in threads
+        ]
+    return state
+
+
+def _domain_state(domain) -> dict:
+    return {
+        "weight": domain.weight,
+        "cap": domain.cap,
+        "window_consumed_ns": domain.window_consumed_ns,
+        "total_consumed_ns": domain.total_consumed_ns,
+        "extendability_ns": domain.extendability_ns,
+        "optimal_vcpus": domain.optimal_vcpus,
+        "extendability_published_ns": domain.extendability_published_ns,
+        "vcpus": [_vcpu_state(v) for v in domain.vcpus],
+        "guest": _guest_state(domain.guest),
+    }
+
+
+def _faults_state(injector) -> dict | None:
+    if injector is None:
+        return None
+    return {
+        "stats": injector.stats.to_dict(),
+        "recovery": injector.recovery.to_dict(),
+        "scripted_consumed": sorted(injector._scripted.consumed),
+        "outage_onsets": sorted(injector._outage_onsets_seen),
+        "balancer_down_until": injector._balancer_down_until,
+        "rng": injector._seeds.state_dict(),
+    }
+
+
+def state_dict(machine: "Machine") -> dict:
+    """The canonical JSON-able snapshot of one machine's full state.
+
+    Read-only: nothing in here may pop queue entries, flush timers, or
+    draw randomness — taking a snapshot must leave the run bit-identical
+    to never snapshotting (the purity test pins this).
+    """
+    sim = machine.sim
+    return {
+        "version": FORMAT_VERSION,
+        "at_ns": sim.now,
+        "engine": {
+            "name": sim.engine,
+            "seq": sim._seq,
+            "events": sim.snapshot_events(),
+        },
+        "rng": machine.seeds.state_dict(),
+        "scheduler": machine.scheduler.state_dict(),
+        "pool": [
+            {
+                "index": pcpu.index,
+                "current": pcpu.current.name if pcpu.current else None,
+                "idle_ns": pcpu.idle_ns,
+                "idle_since": pcpu._idle_since,
+            }
+            for pcpu in machine.pool
+        ],
+        "domains": {d.name: _domain_state(d) for d in machine.domains},
+        "faults": _faults_state(machine.faults),
+        "xenstore": {
+            "tree": dict(sorted(machine.xenstore._tree.items())),
+            "writes": machine.xenstore.writes,
+            "watch_fires": machine.xenstore.watch_fires,
+        },
+    }
+
+
+def fingerprint(state: dict) -> str:
+    """SHA-256 over the canonical serialization of a state dict."""
+    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One captured instant: the state, its time, and its fingerprint."""
+
+    at_ns: int
+    state: dict
+    fingerprint: str
+
+    def dumps(self) -> str:
+        return json.dumps(
+            {"at_ns": self.at_ns, "fingerprint": self.fingerprint, "state": self.state},
+            sort_keys=True,
+            indent=2,
+        )
+
+
+def capture(machine: "Machine") -> Checkpoint:
+    state = state_dict(machine)
+    return Checkpoint(at_ns=machine.sim.now, state=state, fingerprint=fingerprint(state))
+
+
+def _diff_keys(expected: dict, actual: dict) -> list[str]:
+    differing = []
+    for key in expected:
+        if expected.get(key) != actual.get(key):
+            differing.append(key)
+    return differing
+
+
+def restore(checkpoint: Checkpoint, build: Callable[[], object]):
+    """Rebuild via ``build()``, replay to the checkpoint instant, verify.
+
+    ``build`` must be the deterministic factory that produced the
+    original run (same config, seed, workload); it may return either a
+    ``Machine`` or any object with a ``machine`` attribute (a Scenario).
+    Returns the built object after verification; raises
+    :class:`RestoreMismatch` naming the differing top-level state keys
+    when the replayed state does not match.
+    """
+    built = build()
+    machine = getattr(built, "machine", built)
+    if not machine.started:
+        machine.start()
+    machine.sim.run(until=checkpoint.at_ns)
+    replayed = state_dict(machine)
+    if fingerprint(replayed) != checkpoint.fingerprint:
+        differing = _diff_keys(checkpoint.state, replayed)
+        raise RestoreMismatch(
+            f"replay to t={checkpoint.at_ns} diverged from checkpoint "
+            f"in state keys: {', '.join(differing) or '<fingerprint only>'}"
+        )
+    return built

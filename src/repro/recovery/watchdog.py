@@ -1,0 +1,134 @@
+"""A guest-side hang watchdog for wedged vCPUs.
+
+Crash-stop model: a scripted ``vcpu_hang`` fault wedges one vCPU — an
+RT-class thread pinned there spins forever, so fair-class application
+threads on that runqueue make no progress (RT always wins).  The vCPU
+still burns CPU and answers ticks, which is exactly the failure shape of
+a guest kernel soft lockup: alive to the hypervisor, dead to the
+workload.
+
+The recovery protocol is a watchdog thread (RT, pinned to vCPU0, like
+the vScale daemon): each period it sweeps the hung set in two phases —
+first it clears the wedge flag (the spinner exits at its next chunk
+boundary), then on the following sweep it drives a freeze/unfreeze cycle
+through the balancer, which migrates stranded threads off the runqueue
+and brings the vCPU back as schedulable.  Transient freeze failures are
+retried next period.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.balancer import VScaleBalancer
+from repro.faults.errors import FreezeFailure
+from repro.guest.actions import BlockOn, Compute, SpinFlag
+from repro.units import US
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.kernel import GuestKernel
+    from repro.guest.threads import Thread
+
+#: How long the wedge spinner computes between exit checks.
+_WEDGE_CHUNK_NS = 200 * US
+
+
+class HangWatchdog:
+    """Injects scripted vCPU hangs and clears them with freeze/unfreeze."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        balancer: VScaleBalancer | None = None,
+        period_ns: int | None = None,
+    ):
+        self.kernel = kernel
+        self.balancer = balancer or VScaleBalancer(kernel)
+        #: Sweep period; default two hypervisor recalculation periods.
+        self.period_ns = period_ns or 2 * kernel.machine.config.vscale_period_ns
+        #: vCPU indices currently wedged (insertion-ordered for determinism).
+        self.hung: dict[int, None] = {}
+        #: Indices whose wedge was cleared and await the freeze/unfreeze
+        #: cycle on the next sweep (the spinner needs one chunk to exit).
+        self._clearing: dict[int, None] = {}
+        self.thread: "Thread | None" = None
+
+    # ------------------------------------------------------------------
+    def install(self) -> "Thread":
+        """Spawn the watchdog thread and schedule scripted hang onsets."""
+        if self.thread is not None:
+            raise RuntimeError("watchdog already installed")
+        self.thread = self.kernel.spawn(
+            self._behavior(), name="hangdogd", rt=True, pinned_to=0
+        )
+        faults = self.kernel.machine.faults
+        if faults is not None:
+            sim = self.kernel.sim
+            for at_ns, index in faults.hang_schedule():
+                sim.schedule_at(max(at_ns, sim.now), self._start_hang, index)
+        return self.thread
+
+    # ------------------------------------------------------------------
+    def _recovery(self):
+        faults = self.kernel.machine.faults
+        return faults.recovery if faults is not None else None
+
+    def _start_hang(self, index: int) -> None:
+        """Scripted onset: wedge ``index`` with an RT spinner."""
+        kernel = self.kernel
+        if index <= 0 or index >= len(kernel.runqueues):
+            return
+        if index in self.hung or index in self._clearing:
+            return
+        if index in kernel.cpu_freeze_mask:
+            # A frozen vCPU runs nothing, so the hang has no surface yet;
+            # the latent fault waits for the vCPU to come back online.
+            kernel.sim.schedule(self.period_ns, self._start_hang, index)
+            return
+        self.hung[index] = None
+        recovery = self._recovery()
+        if recovery is not None:
+            recovery.hangs_injected += 1
+        kernel.machine.tracer.emit(
+            kernel.sim.now, "fault", "vcpu_hang", f"{kernel.domain.name}/v{index}"
+        )
+        kernel.spawn(
+            self._wedge(index), name=f"wedge/{index}", rt=True, pinned_to=index
+        )
+
+    def _wedge(self, index: int):
+        while index in self.hung:
+            yield Compute(_WEDGE_CHUNK_NS)
+
+    # ------------------------------------------------------------------
+    def _behavior(self):
+        kernel = self.kernel
+        while True:
+            timer = SpinFlag("hangdogd.timer")
+            kernel.start_timer(self.period_ns, timer)
+            yield BlockOn(timer)
+            # Phase 2: freeze/unfreeze vCPUs whose spinner has exited.
+            for index in list(self._clearing):
+                try:
+                    if index not in kernel.cpu_freeze_mask:
+                        self.balancer.freeze(index)
+                        yield Compute(0)
+                    self.balancer.unfreeze(index)
+                    yield Compute(0)
+                except FreezeFailure:
+                    # Transient syscall failure: retry at the next sweep.
+                    yield Compute(0)
+                    continue
+                del self._clearing[index]
+                recovery = self._recovery()
+                if recovery is not None:
+                    recovery.watchdog_clears += 1
+                kernel.machine.tracer.emit(
+                    kernel.sim.now, "vscale", "watchdog_clear",
+                    f"{kernel.domain.name}/v{index}",
+                )
+            # Phase 1: release newly detected wedges; the spinner exits at
+            # its next chunk boundary, well before the next sweep.
+            for index in list(self.hung):
+                del self.hung[index]
+                self._clearing[index] = None

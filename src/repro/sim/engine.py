@@ -163,6 +163,16 @@ class _HeapQueue:
             return event
         return None
 
+    def iter_live(self):
+        """Yield live events in arbitrary order, without mutating the queue.
+
+        Snapshot support: unlike :meth:`peek`/:meth:`pop_next` this never
+        discards tombstones, so calling it leaves the queue byte-identical.
+        """
+        for entry in self._heap:
+            if not entry[2].cancelled:
+                yield entry[2]
+
 
 class _WheelQueue:
     """Timer-wheel engine: near-future buckets in front of an overflow heap.
@@ -263,6 +273,24 @@ class _WheelQueue:
                 return event
             if not self._advance():
                 return None
+
+    def iter_live(self):
+        """Yield live events in arbitrary order, without mutating the queue.
+
+        Snapshot support: iterates the current-granule heap, every wheel
+        bucket, and the overflow heap as plain lists — no pops, so the
+        queue (including tombstone placement) is left byte-identical.
+        """
+        for entry in self._cur_heap:
+            if not entry[2].cancelled:
+                yield entry[2]
+        for bucket in self._wheel:
+            for entry in bucket:
+                if not entry[2].cancelled:
+                    yield entry[2]
+        for entry in self._far:
+            if not entry[2].cancelled:
+                yield entry[2]
 
     def _advance(self) -> bool:
         """Slide the window to the next occupied granule.
@@ -437,3 +465,20 @@ class Simulator:
         """Time of the next live event, or None if the queue is empty."""
         event = self._queue.peek()
         return None if event is None else event.time
+
+    def snapshot_events(self) -> list[tuple[int, int, str]]:
+        """The live event queue as sorted ``(time, seq, callback)`` rows.
+
+        Callbacks are identified by qualified name — enough to fingerprint
+        the queue for restore-equivalence checks (two runs whose queues
+        hold the same callbacks at the same ``(time, seq)`` positions are
+        in the same scheduling state).  Read-only: the queue is untouched.
+        """
+        rows = []
+        for event in self._queue.iter_live():
+            fn = event.fn
+            module = getattr(fn, "__module__", "") or ""
+            qualname = getattr(fn, "__qualname__", None) or type(fn).__name__
+            rows.append((event.time, event.seq, f"{module}.{qualname}"))
+        rows.sort()
+        return rows

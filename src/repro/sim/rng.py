@@ -137,8 +137,36 @@ class BufferedStream:
         self._require("exponential")
         return scale * self._take(size)
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the stream position.
+
+        Captures the underlying bit-generator state plus any prefetched
+        variates not yet handed out, so two streams with equal state
+        dicts will produce identical future draws.
+        """
+        return {
+            "kind": self.kind,
+            "generator": _jsonable(self._rng.bit_generator.state),
+            "pending": list(self._buf[self._pos : self._len]) if self._buf else [],
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BufferedStream({self.name!r}, kind={self.kind!r})"
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars inside a state dict to Python."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
 
 
 class SeedSequenceFactory:
@@ -197,6 +225,25 @@ class SeedSequenceFactory:
                 f"requested {kind!r}"
             )
         return stream
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of every stream this factory has issued.
+
+        Stream *positions* matter, not just the seed: two factories with
+        the same seed but different draw counts diverge on the next draw,
+        so checkpoint equality must compare bit-generator states.
+        """
+        return {
+            "seed": self.seed,
+            "generators": {
+                name: _jsonable(gen.bit_generator.state)
+                for name, gen in sorted(self._issued.items())
+            },
+            "streams": {
+                name: stream.state_dict()
+                for name, stream in sorted(self._streams.items())
+            },
+        }
 
     def spawn(self, name: str) -> "SeedSequenceFactory":
         """Create a child factory with an independent root, for sub-systems."""

@@ -55,11 +55,18 @@ def _faults_cell():
     return faults.run_matrix_cell("cg", "vscale", 0.05, seed=3, work_scale=0.05)
 
 
+def _chaos_cell():
+    from repro.experiments import chaos
+
+    return chaos.run_chaos_cell("crash", seed=3, work_scale=0.05)
+
+
 CASES = {
     "table1": _table1,
     "table3": _table3,
     "fig6_cell_cg_vscale": _fig6_cell,
     "faults_cell_cg_vscale": _faults_cell,
+    "chaos_cell_crash": _chaos_cell,
 }
 
 

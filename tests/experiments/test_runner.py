@@ -103,7 +103,7 @@ def test_every_experiment_is_registered():
         "table1", "table2", "table3",
         "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
         "fig10", "fig11", "fig12", "fig13", "fig14",
-        "variance", "ablations", "faults", "generality",
+        "variance", "ablations", "faults", "chaos", "generality",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,71 @@
+"""Property test: restore(snapshot(t)) -> run is bit-identical for any t.
+
+Hypothesis picks the snapshot instant and the build seed; the invariant
+is the same every time — a twin rebuilt from the deterministic factory
+and replayed to the checkpoint has the identical future.  This is the
+generalized form of the per-scheduler golden checks in
+``test_checkpoint.py``: not just at one hand-picked instant, but at
+arbitrary (and deliberately awkward, e.g. mid-period) times.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.setups import Config, ScenarioBuilder
+from repro.faults import generate_plan
+from repro.recovery import fingerprint, restore, state_dict
+from repro.units import MS, SEC
+
+
+def _build(seed, plan=None):
+    builder = (
+        ScenarioBuilder(seed=seed, pcpus=4)
+        .with_worker_vm(4)
+        .with_config(Config.VSCALE)
+    )
+    if plan is not None:
+        builder.with_faults(plan)
+    return builder.build()
+
+
+@given(
+    snap_ns=st.integers(min_value=1 * MS, max_value=90 * MS),
+    seed=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=10, deadline=None)
+def test_restore_equivalence_over_time_and_seed(snap_ns, seed):
+    straight = _build(seed)
+    straight.start()
+    straight.run(snap_ns)
+    checkpoint = straight.machine.snapshot()
+
+    restored = restore(checkpoint, lambda: _build(seed))
+
+    end_ns = snap_ns + 60 * MS
+    straight.run(end_ns)
+    restored.run(end_ns)
+    assert fingerprint(state_dict(straight.machine)) == fingerprint(
+        state_dict(restored.machine)
+    )
+
+
+@given(snap_ns=st.integers(min_value=100 * MS, max_value=900 * MS))
+@settings(max_examples=5, deadline=None)
+def test_restore_equivalence_under_faults(snap_ns):
+    """The invariant holds with an active fault plan: the injector's
+    consumed-event set and RNG positions are part of the state."""
+    plan = generate_plan(
+        23, 1 * SEC, daemon_crashes=1, vcpu_hangs=1, balancer_outages=1
+    )
+    straight = _build(5, plan)
+    straight.start()
+    straight.run(snap_ns)
+    checkpoint = straight.machine.snapshot()
+
+    restored = restore(checkpoint, lambda: _build(5, plan))
+
+    end_ns = snap_ns + 200 * MS
+    straight.run(end_ns)
+    restored.run(end_ns)
+    assert fingerprint(state_dict(straight.machine)) == fingerprint(
+        state_dict(restored.machine)
+    )
