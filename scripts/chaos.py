@@ -57,16 +57,12 @@ def check_cell(cell, max_epochs: int) -> list[str]:
     return errors
 
 
-def verify_restore(args) -> None:
-    """Capture a pre-crash checkpoint and restore it onto a rebuilt twin."""
+def _twin_builder(args):
+    """The deterministic scenario factory shared by the restore checks:
+    the same args must always build the same machine."""
     from repro.core.daemon import DaemonConfig
-    from repro.experiments.chaos import WARMUP_NS, _build_plan
+    from repro.experiments.chaos import _build_plan
     from repro.experiments.setups import Config, ScenarioBuilder
-    from repro.hypervisor.machine import Machine
-    from repro.recovery import fingerprint, state_dict
-
-    plan = _build_plan("crash", args.chaos_seed, args.scale)
-    crash_ns = min(e.at_ns for e in plan.events if e.site == "daemon_crash")
 
     def build():
         builder = (
@@ -78,10 +74,62 @@ def verify_restore(args) -> None:
         builder.daemon_config = DaemonConfig.crash_hardened()
         return builder.build()
 
+    return build
+
+
+def _load_snapshot(path: Path):
+    """Read a checkpoint JSON written by --save-snapshot; exit with a
+    one-line error when the file is missing or corrupt."""
+    import json
+
+    from repro.recovery import Checkpoint
+
+    try:
+        data = json.loads(path.read_text())
+        return Checkpoint(
+            at_ns=data["at_ns"],
+            state=data["state"],
+            fingerprint=data["fingerprint"],
+        )
+    except FileNotFoundError:
+        raise SystemExit(f"error: snapshot file not found: {path}")
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError) as exc:
+        raise SystemExit(f"error: snapshot file {path} is corrupt: {exc!r}")
+
+
+def restore_from(args) -> None:
+    """Restore a saved snapshot onto a rebuilt twin and verify it."""
+    from repro.hypervisor.machine import Machine
+    from repro.recovery import RestoreMismatch
+
+    checkpoint = _load_snapshot(args.restore_from)
+    try:
+        Machine.restore(checkpoint, _twin_builder(args))
+    except RestoreMismatch as exc:
+        raise SystemExit(f"error: {exc}")
+    print(
+        f"restored snapshot {args.restore_from} at t={checkpoint.at_ns} ns "
+        f"({checkpoint.fingerprint[:16]}) onto a rebuilt twin"
+    )
+
+
+def verify_restore(args) -> None:
+    """Capture a pre-crash checkpoint and restore it onto a rebuilt twin."""
+    from repro.experiments.chaos import WARMUP_NS, _build_plan
+    from repro.hypervisor.machine import Machine
+    from repro.recovery import fingerprint, state_dict
+
+    plan = _build_plan("crash", args.chaos_seed, args.scale)
+    crash_ns = min(e.at_ns for e in plan.events if e.site == "daemon_crash")
+    build = _twin_builder(args)
+
     original = build()
     original.start()
     original.run(crash_ns)
     checkpoint = original.machine.snapshot()
+    if args.save_snapshot is not None:
+        args.save_snapshot.write_text(checkpoint.dumps() + "\n")
+        print(f"saved pre-crash snapshot to {args.save_snapshot}")
     restored = Machine.restore(checkpoint, build)
 
     # Both continue through the crash and beyond; futures must agree.
@@ -122,7 +170,21 @@ def main(argv: list[str] | None = None) -> int:
         "--verify-restore", action="store_true",
         help="also restore a pre-crash checkpoint onto a rebuilt twin",
     )
+    parser.add_argument(
+        "--save-snapshot", type=Path, default=None,
+        help="with --verify-restore: write the pre-crash checkpoint JSON "
+        "here for later --restore-from runs",
+    )
+    parser.add_argument(
+        "--restore-from", type=Path, default=None,
+        help="restore a snapshot saved by --save-snapshot onto a rebuilt "
+        "twin (same --seed/--chaos-seed/--scale) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.restore_from is not None:
+        restore_from(args)
+        return 0
     if args.quick:
         args.profiles = ["none", "crash", "outage"]
 

@@ -48,6 +48,17 @@ def _load(module_name: str):
     return module
 
 
+def _load_json(path: Path, role: str) -> dict:
+    """Read a results/reference JSON; exit with a one-line error if it is
+    missing or corrupt instead of dumping a traceback."""
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: {role} file not found: {path}")
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SystemExit(f"error: {role} file {path} is corrupt: {exc}")
+
+
 def _time_best_of(fn, args: dict, repeats: int) -> tuple[float, float]:
     """(best seconds, items) over ``repeats`` runs, after one warm-up."""
     fn(**args)  # warm-up: imports, first-touch allocations
@@ -67,6 +78,7 @@ def run_suite(quick: bool) -> dict:
     engine = _load("engine_bench")
     rng = _load("rng_bench")
     e2e = _load("e2e_bench")
+    tracelog = _load("tracelog_bench")
     memory = _load("memory_bench")
 
     scale = 4 if quick else 1
@@ -83,6 +95,7 @@ def run_suite(quick: bool) -> dict:
         ("e2e.faults_cell", e2e.faults_cell, {"quick": quick}),
         ("e2e.decentralized_50vm", e2e.decentralized_50vm, {"quick": quick}),
         ("e2e.fig4_dom0_sweep", e2e.fig4_dom0_sweep, {"quick": quick}),
+        ("tracelog.fig6_traced_cell", tracelog.fig6_traced_cell, {"quick": quick}),
     ]
 
     results: dict[str, dict] = {}
@@ -95,6 +108,14 @@ def run_suite(quick: bool) -> dict:
         print(f"  {name:<28} {seconds * 1e3:9.2f} ms"
               + (f"  ({entry['per_second']:,}/s)" if "per_second" in entry else ""))
 
+    # Tracing overhead: interleaved traced/untraced pairs of the same
+    # cell, best-of each, so machine noise cancels instead of showing
+    # up as tracing cost.
+    pair = tracelog.trace_overhead(quick)
+    results["tracelog.fig6_traced_cell"]["overhead"] = pair["overhead"]
+    print(f"  {'tracelog overhead':<28} {pair['overhead']:8.1%} vs untraced fig6 "
+          f"({pair['untraced_s'] * 1e3:.0f} -> {pair['traced_s'] * 1e3:.0f} ms)")
+
     print("  memory census ...")
     results["memory.objects"] = {
         key: round(value, 1)
@@ -103,9 +124,24 @@ def run_suite(quick: bool) -> dict:
     return results
 
 
+def check_trace_overhead(current: dict, limit: float) -> int:
+    """Gate the tracelog bench's overhead ratio (<10% by default)."""
+    entry = current.get("tracelog.fig6_traced_cell") or {}
+    overhead = entry.get("overhead")
+    if overhead is None:
+        return 0
+    status = "OK" if overhead <= limit else "FAIL"
+    print(f"  tracing overhead {overhead:.1%} (limit {limit:.0%})  {status}")
+    if overhead > limit:
+        print(f"FAIL: tracing overhead {overhead:.1%} exceeds {limit:.0%} "
+              "on the fig6 cell")
+        return 1
+    return 0
+
+
 def check_regressions(current: dict, reference_path: Path, limit: float,
                       quick: bool) -> int:
-    reference = json.loads(reference_path.read_text())
+    reference = _load_json(reference_path, "reference")
     # Compare like-for-like: quick runs use smaller workloads, so they gate
     # against the committed "quick" column; full runs against "after" (a
     # merged file) or "benches" (a flat run).
@@ -138,7 +174,12 @@ def check_regressions(current: dict, reference_path: Path, limit: float,
 
 
 def merge_baseline(after: dict, baseline_path: Path) -> dict:
-    before = json.loads(baseline_path.read_text())["benches"]
+    baseline = _load_json(baseline_path, "baseline")
+    if "benches" not in baseline:
+        raise SystemExit(
+            f"error: baseline file {baseline_path} has no 'benches' column"
+        )
+    before = baseline["benches"]
     speedup = {}
     for name, entry in after.items():
         if "seconds" in entry and name in before and "seconds" in before[name]:
@@ -167,6 +208,9 @@ def main() -> int:
                              "regression")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed slowdown vs reference (default 0.30)")
+    parser.add_argument("--max-trace-overhead", type=float, default=0.10,
+                        help="allowed tracing overhead on the fig6 cell "
+                             "(default 0.10; gated with --check-against)")
     args = parser.parse_args()
 
     print(f"perf_bench: {'quick' if args.quick else 'full'} run, "
@@ -195,7 +239,7 @@ def main() -> int:
     if args.record_quick:
         if not args.quick:
             parser.error("--record-quick requires --quick")
-        merged = json.loads(args.record_quick.read_text())
+        merged = _load_json(args.record_quick, "results")
         merged["quick"] = benches
         args.record_quick.write_text(
             json.dumps(merged, indent=2, sort_keys=True) + "\n"
@@ -203,8 +247,9 @@ def main() -> int:
         print(f"recorded quick reference column in {args.record_quick}")
 
     if args.check_against:
-        return check_regressions(benches, args.check_against,
-                                 args.max_regression, args.quick)
+        rc = check_regressions(benches, args.check_against,
+                               args.max_regression, args.quick)
+        return rc or check_trace_overhead(benches, args.max_trace_overhead)
     return 0
 
 

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Capture, verify and render ``repro.tracelog`` binary traces.
+
+Subcommands::
+
+    capture  run a named cell (fig6 | chaos) with tracing on
+    verify   replay a trace from its embedded run metadata and compare
+             fingerprints; exits non-zero with a divergence report on
+             mismatch — the CI trace-replay check
+    dump     print a trace's metadata and events (tolerates truncated
+             traces from crashed runs)
+    gantt    vCPU<->pCPU occupancy timeline with freeze edges
+             (ASCII to stdout; --svg writes a standalone SVG)
+    stats    event volumes and wakeup-to-run latency distributions
+
+Examples::
+
+    python scripts/trace_tools.py capture fig6 --out fig6.rtl --scale 0.2
+    python scripts/trace_tools.py verify fig6.rtl
+    python scripts/trace_tools.py gantt fig6.rtl --svg fig6.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.tracelog import codec  # noqa: E402
+from repro.tracelog.replay import capture_run, replay_verify  # noqa: E402
+
+
+def _load(path: str, strict: bool):
+    try:
+        return codec.load(path, strict=strict)
+    except codec.TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from repro.tracelog import cells
+
+    categories = None
+    if args.categories:
+        categories = frozenset(
+            c.strip() for c in args.categories.split(",") if c.strip()
+        )
+    if args.cell == "fig6":
+        fn = cells.fig6_cell
+        kwargs = {
+            "app": args.app,
+            "config": args.config,
+            "seed": args.seed,
+            "work_scale": args.scale,
+            "scheduler": args.scheduler,
+        }
+    else:
+        fn = cells.chaos_cell
+        kwargs = {
+            "profile": args.profile,
+            "app": args.app,
+            "seed": args.seed,
+            "work_scale": args.scale,
+            "scheduler": args.scheduler,
+        }
+    capture_run(fn, kwargs, args.out, categories=categories)
+    _, records = codec.load(args.out)
+    print(f"captured {len(records)} events to {args.out}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    try:
+        report = replay_verify(args.trace)
+    except (codec.TraceFormatError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.match else 1
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    meta, records = _load(args.trace, strict=not args.lenient)
+    import json
+
+    print(f"# {args.trace}: {len(records)} events")
+    print(f"# meta: {json.dumps(meta, sort_keys=True)}")
+    for record in records:
+        if args.category and record.category != args.category:
+            continue
+        print(record)
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.tracelog.render import ascii_gantt, svg_gantt
+
+    _, records = _load(args.trace, strict=False)
+    if args.svg:
+        Path(args.svg).write_text(svg_gantt(records))
+        print(f"wrote {args.svg}")
+    else:
+        print(ascii_gantt(records, width=args.width))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.tracelog.stats import render_stats
+
+    _, records = _load(args.trace, strict=False)
+    print(render_stats(records))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="trace_tools", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("capture", help="run a cell with tracing on")
+    p.add_argument("cell", choices=("fig6", "chaos"))
+    p.add_argument("--out", required=True, help="trace output path")
+    p.add_argument("--app", default="cg")
+    p.add_argument("--config", default="VSCALE", help="fig6 config name")
+    p.add_argument("--profile", default="crash", help="chaos fault profile")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--scheduler", default=None)
+    p.add_argument(
+        "--categories", default=None,
+        help="comma-separated trace categories (default: all but dispatch)",
+    )
+    p.set_defaults(fn=_cmd_capture)
+
+    p = sub.add_parser("verify", help="replay a trace and compare fingerprints")
+    p.add_argument("trace")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("dump", help="print trace metadata and events")
+    p.add_argument("trace")
+    p.add_argument("--category", default=None, help="only this category")
+    p.add_argument(
+        "--lenient", action="store_true",
+        help="tolerate truncated traces (crashed runs)",
+    )
+    p.set_defaults(fn=_cmd_dump)
+
+    p = sub.add_parser("gantt", help="render an occupancy timeline")
+    p.add_argument("trace")
+    p.add_argument("--width", type=int, default=100, help="ASCII columns")
+    p.add_argument("--svg", default=None, help="write an SVG here instead")
+    p.set_defaults(fn=_cmd_gantt)
+
+    p = sub.add_parser("stats", help="event volumes and latency distributions")
+    p.add_argument("trace")
+    p.set_defaults(fn=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

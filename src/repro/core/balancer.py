@@ -143,6 +143,11 @@ class VScaleBalancer:
             # master still paid for it.
             self._charge_master(cost)
             self.failed_ops += 1
+            machine = kernel.machine
+            machine.tracer.emit(
+                machine.sim.now, "fault", "freeze_failed",
+                kernel.domain.vcpus[index].name, op="freeze",
+            )
             raise FreezeFailure("freeze", index, cost)
         vcpu = kernel.domain.vcpus[index]
         # (1)+(2) syscall + lock are pure cost; (3) flip the mask:
@@ -182,6 +187,11 @@ class VScaleBalancer:
         if faults is not None and faults.freeze_fault():
             self._charge_master(cost)
             self.failed_ops += 1
+            machine = kernel.machine
+            machine.tracer.emit(
+                machine.sim.now, "fault", "freeze_failed",
+                kernel.domain.vcpus[index].name, op="unfreeze",
+            )
             raise FreezeFailure("unfreeze", index, cost)
         vcpu = kernel.domain.vcpus[index]
         kernel.cpu_freeze_mask.discard(index)

@@ -112,9 +112,16 @@ class VScaleChannel:
         fate = None if machine.faults is None else machine.faults.channel_fault()
         if fate == "fail":
             self.failed_reads += 1
+            machine.tracer.emit(
+                machine.sim.now, "fault", "channel_fail", self.domain.name,
+                cost_ns=cost,
+            )
             raise ChannelReadError(self.domain.name, cost)
         if fate == "stale" and self._history:
             self.stale_reads += 1
+            machine.tracer.emit(
+                machine.sim.now, "fault", "channel_stale", self.domain.name,
+            )
             oldest = self._history[0]
             return ChannelReading(
                 extendability_ns=oldest.extendability_ns,

@@ -219,7 +219,9 @@ def build_executor(args: argparse.Namespace) -> ParallelExecutor:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return ParallelExecutor(jobs=args.jobs, cache=cache)
+    return ParallelExecutor(
+        jobs=args.jobs, cache=cache, trace_dir=getattr(args, "trace_dir", None)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -254,6 +256,13 @@ def main(argv: list[str] | None = None) -> int:
         "~/.cache/repro-vscale)",
     )
     parser.add_argument("--out", type=Path, default=None, help="output directory")
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="stream a binary trace per cell to this directory "
+        "(forces re-execution: cached results produce no trace)",
+    )
     parser.add_argument(
         "--scheduler",
         default=None,

@@ -126,9 +126,29 @@ class VCPU:
         ticks must fold the elided ticks under the old freeze condition
         (see ``GuestKernel._coalesce_fold``).
         """
-        sanitizer = self.domain.machine.sanitizer
+        machine = self.domain.machine
+        sanitizer = machine.sanitizer
         if sanitizer is not None:
             sanitizer.check_vcpu_transition(self, new_state)
+        # Hot path: the enabled_for() set lookup keeps untraced runs from
+        # paying for record construction on every transition.  The
+        # runnable<->running edges are exactly the scheduler's sched/run
+        # and sched/stop records (which also carry the pCPU), so emitting
+        # them here would double the trace volume for no information.
+        if (
+            new_state is not self.state
+            and machine.tracer.enabled_for("sched")
+            and not (
+                new_state is VCPUState.RUNNING
+                and self.state is VCPUState.RUNNABLE
+                or new_state is VCPUState.RUNNABLE
+                and self.state is VCPUState.RUNNING
+            )
+        ):
+            machine.tracer.emit(
+                now, "sched", "state", self.name,
+                old=self.state.value, new=new_state.value,
+            )
         if (new_state is VCPUState.FROZEN) != (self.state is VCPUState.FROZEN):
             guest = self.domain.guest
             if guest is not None:

@@ -102,6 +102,7 @@ class Machine:
     ):
         self.config = config or HostConfig()
         self.sim = sim or Simulator()
+        self.seed = seed
         self.seeds = SeedSequenceFactory(seed)
         #: Structured trace sink (xentrace-style).  Off by default; pass a
         #: Tracer with enabled categories to record scheduling decisions,
@@ -132,6 +133,14 @@ class Machine:
         self._started = False
         #: Observers notified on every vCPU context switch, used by traces.
         self.context_listeners: list[Callable[[VCPU, bool], None]] = []
+        # Opt-in binary trace streaming: REPRO_TRACE=path (or an active
+        # capture_to block) attaches a streaming tracer to every machine
+        # built.  Must run before the sanitizer hook below, which keeps an
+        # already-installed tracer instead of swapping in its own.
+        # Imported here to avoid a module cycle.
+        from repro.tracelog.capture import maybe_install as tracelog_install
+
+        tracelog_install(self)
         # Opt-in invariant checking: REPRO_SANITIZE=1 makes every machine
         # (including ones built inside experiment worker processes)
         # self-install a sanitizer.  Imported here to avoid a module cycle.
@@ -178,6 +187,42 @@ class Machine:
 
         self.faults = FaultInjector(plan)
         return self.faults
+
+    def install_tracer(
+        self,
+        sink: Callable[..., None] | None = None,
+        categories: "frozenset[str] | set[str] | None" = None,
+    ) -> Tracer:
+        """Install (or extend) a recording tracer on this machine.
+
+        With no arguments this turns on every category except the
+        "dispatch" firehose, buffered in a small ring — the streaming
+        *sink* (a :class:`repro.tracelog.codec.TraceWriter`) is what
+        persists the full event sequence, so the in-memory ring only
+        needs to serve post-mortem tails.  Requesting "dispatch" also
+        wires the simulator's per-event ``dispatch_trace`` hook.
+        """
+        if categories is None:
+            categories = Tracer.KNOWN_CATEGORIES - {"dispatch"}
+        if self.tracer is NULL_TRACER:
+            self.tracer = Tracer(categories, capacity=2048, ring=True)
+        else:
+            for category in categories:
+                self.tracer.enable(category)
+        if sink is not None:
+            self.tracer.sinks.append(sink)
+        if "dispatch" in categories and self.sim.dispatch_trace is None:
+            self.sim.dispatch_trace = self._trace_dispatch
+        return self.tracer
+
+    def _trace_dispatch(self, sim: Simulator, event: Event) -> None:
+        """``sim.dispatch_trace`` hook: one record per event dispatch."""
+        fn = event.fn
+        module = getattr(fn, "__module__", "") or ""
+        qualname = getattr(fn, "__qualname__", None) or type(fn).__name__
+        self.tracer.emit(
+            event.time, "dispatch", "fire", f"{module}.{qualname}", seq=event.seq
+        )
 
     def install_sanitizer(self) -> "Sanitizer":
         """Install the cross-layer invariant checker (see repro.sanitize)."""
@@ -454,7 +499,15 @@ class Machine:
         """
         from repro.recovery.checkpoint import capture
 
-        return capture(self)
+        checkpoint = capture(self)
+        # Marker emitted *after* the capture: replay tooling uses it to
+        # locate resumable instants, and emitting post-capture keeps the
+        # snapshot purity contract (state_dict never sees the marker).
+        self.tracer.emit(
+            self.sim.now, "snapshot", "capture", "machine",
+            at_ns=checkpoint.at_ns, fingerprint=checkpoint.fingerprint,
+        )
+        return checkpoint
 
     @staticmethod
     def restore(checkpoint: "Checkpoint", build: Callable[[], "Machine"]):

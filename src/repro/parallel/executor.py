@@ -44,6 +44,7 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import os
+import re
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -126,11 +127,27 @@ class CellSpec:
         return cell_key(self.experiment, self.fn, dict(self.kwargs))
 
 
-def _invoke(payload: tuple[int, Callable, dict]) -> tuple[int, Any, float, float]:
-    """Worker-side cell execution (top-level, hence picklable)."""
-    index, fn, kwargs = payload
+def _invoke(
+    payload: tuple[int, Callable, dict, "tuple[str, dict] | None"],
+) -> tuple[int, Any, float, float]:
+    """Worker-side cell execution (top-level, hence picklable).
+
+    The optional fourth element is ``(trace_path, trace_meta)``: the cell
+    runs under a :func:`repro.tracelog.capture.capture_to` block and its
+    binary trace streams to ``trace_path``.  Installed worker-side so the
+    per-cell capture works across process boundaries (the fork pool must
+    not share one suffix counter).
+    """
+    index, fn, kwargs, trace = payload
     started = time.time()  # det: allow (telemetry, not simulation state)
-    value = fn(**kwargs)
+    if trace is None:
+        value = fn(**kwargs)
+    else:
+        from repro.tracelog.capture import capture_to
+
+        trace_path, trace_meta = trace
+        with capture_to(trace_path, meta=trace_meta):
+            value = fn(**kwargs)
     return index, value, started, time.time()  # det: allow (telemetry)
 
 
@@ -163,10 +180,18 @@ class ParallelExecutor:
         telemetry: Telemetry | None = None,
         cell_timeout_s: float | None = None,
         max_retries: int | None = None,
+        trace_dir: "str | Path | None" = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else jobs_from_env())
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: When set, every cell streams a binary trace to
+        #: ``trace_dir/<experiment>__<name>.rtl``.  Tracing forces real
+        #: execution: the result cache is still written but never read,
+        #: since a cache hit would produce no trace.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
         self.cell_timeout_s = (
             cell_timeout_s if cell_timeout_s is not None else cell_timeout_from_env()
         )
@@ -185,22 +210,21 @@ class ParallelExecutor:
         for index, spec in enumerate(specs):
             if self.cache is not None:
                 key = keys[index] = spec.key()
-                value = self.cache.get(key)
-                if value is not MISS:
-                    now = time.time()  # det: allow (telemetry)
-                    results[index] = value
-                    self.telemetry.record(
-                        CellRecord(spec.experiment, spec.name, now, now, True)
-                    )
-                    continue
+                if self.trace_dir is None:
+                    value = self.cache.get(key)
+                    if value is not MISS:
+                        now = time.time()  # det: allow (telemetry)
+                        results[index] = value
+                        self.telemetry.record(
+                            CellRecord(spec.experiment, spec.name, now, now, True)
+                        )
+                        continue
             pending.append(index)
 
         if pending:
             if self.jobs == 1 or len(pending) == 1:
                 for index in pending:
-                    outcome = _invoke(
-                        (index, specs[index].fn, dict(specs[index].kwargs))
-                    )
+                    outcome = _invoke(self._payload(specs, index))
                     self._complete(specs, keys, results, outcome)
             else:
                 self._run_pool(specs, keys, results, pending)
@@ -213,6 +237,23 @@ class ParallelExecutor:
     def run_cell(self, spec: CellSpec) -> Any:
         """Convenience wrapper for a single cell."""
         return self.run_cells([spec])[0]
+
+    def _payload(
+        self, specs: Sequence[CellSpec], index: int
+    ) -> tuple[int, Callable, dict, "tuple[str, dict] | None"]:
+        spec = specs[index]
+        return (index, spec.fn, dict(spec.kwargs), self._trace_target(spec))
+
+    def _trace_target(self, spec: CellSpec) -> "tuple[str, dict] | None":
+        if self.trace_dir is None:
+            return None
+        stem = re.sub(r"[^A-Za-z0-9._-]+", "_", f"{spec.experiment}__{spec.name}")
+        meta = {
+            "source": "executor",
+            "experiment": spec.experiment,
+            "cell": spec.name,
+        }
+        return str(self.trace_dir / f"{stem}.rtl"), meta
 
     # ------------------------------------------------------------------
     # Pool scheduling with timeout/crash recovery
@@ -242,9 +283,8 @@ class ParallelExecutor:
         # Determinism makes this safe; it is slower but cannot crash the
         # grid the way a dying worker can.
         for run in sorted(serial, key=lambda r: r.index):
-            spec = specs[run.index]
             run.attempts += 1
-            outcome = _invoke((run.index, spec.fn, dict(spec.kwargs)))
+            outcome = _invoke(self._payload(specs, run.index))
             self._complete(
                 specs, keys, results, outcome,
                 attempts=run.attempts, recovered=run.last_failure,
@@ -274,9 +314,8 @@ class ParallelExecutor:
         )
         futures: dict[concurrent.futures.Future, int] = {}
         for index in queue:
-            spec = specs[index]
             runs[index].attempts += 1
-            future = pool.submit(_invoke, (index, spec.fn, dict(spec.kwargs)))
+            future = pool.submit(_invoke, self._payload(specs, index))
             futures[future] = index
         started_at: dict[concurrent.futures.Future, float] = {}
         outstanding = set(futures)

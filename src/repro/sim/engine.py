@@ -381,6 +381,11 @@ class Simulator:
         #: Optional hook invoked as ``dispatch_check(sim, event)`` right
         #: before each event fires (installed by repro.sanitize).
         self.dispatch_check: Callable[["Simulator", Event], None] | None = None
+        #: Optional hook invoked as ``dispatch_trace(sim, event)`` right
+        #: before each event fires (installed by repro.tracelog when the
+        #: "dispatch" category is requested).  Separate from
+        #: ``dispatch_check`` so tracing and sanitizing compose.
+        self.dispatch_trace: Callable[["Simulator", Event], None] | None = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -424,12 +429,15 @@ class Simulator:
         try:
             pop_next = self._queue.pop_next
             check = self.dispatch_check
+            trace = self.dispatch_trace
             while not self._stopped:
                 event = pop_next(until)
                 if event is None:
                     break
                 if check is not None:
                     check(self, event)
+                if trace is not None:
+                    trace(self, event)
                 self.now = event.time
                 event.cancelled = True  # mark as fired
                 event.fn(*event.args)
@@ -445,6 +453,8 @@ class Simulator:
             return False
         if self.dispatch_check is not None:
             self.dispatch_check(self, event)
+        if self.dispatch_trace is not None:
+            self.dispatch_trace(self, event)
         self.now = event.time
         event.cancelled = True
         event.fn(*event.args)

@@ -12,19 +12,24 @@ Tracing is opt-in and cheap when off: emitters call
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, NamedTuple
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One trace event."""
+class TraceRecord(NamedTuple):
+    """One trace event.
+
+    A NamedTuple rather than a dataclass: captures construct one per
+    traced event from the middle of the simulation hot path, and tuple
+    construction is several times cheaper than dataclass ``__init__``.
+    The ``details`` default is a shared empty dict — records are
+    immutable by convention; never mutate ``details`` in place.
+    """
 
     time_ns: int
     category: str
     event: str
     subject: str
-    details: dict = field(default_factory=dict)
+    details: dict = {}
 
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in self.details.items())
@@ -34,9 +39,10 @@ class TraceRecord:
 class Tracer:
     """A category-filtered, bounded trace buffer."""
 
-    #: Categories the stack emits.
+    #: Categories the stack emits.  "dispatch" (one record per simulator
+    #: event dispatch) is the firehose — enabled only on request.
     KNOWN_CATEGORIES = frozenset(
-        {"sched", "irq", "guest", "vscale", "workload"}
+        {"sched", "irq", "guest", "vscale", "workload", "fault", "snapshot", "dispatch"}
     )
 
     def __init__(
@@ -61,6 +67,11 @@ class Tracer:
         self.dropped = 0
         #: Optional live sinks, invoked per record (e.g. printing).
         self.sinks: list[Callable[[TraceRecord], None]] = []
+        # Streaming mode (see attach_stream): when set, ``self.records``
+        # *is* the writer's pending batch and emit triggers ``_stream_drain``
+        # instead of paying a per-record sink call.
+        self._stream_drain: Callable[[], None] | None = None
+        self._stream_batch = 0
 
     # ------------------------------------------------------------------
     def enable(self, category: str) -> None:
@@ -74,6 +85,34 @@ class Tracer:
     def enabled_for(self, category: str) -> bool:
         return category in self._enabled
 
+    def attach_stream(
+        self,
+        pending: list,
+        drain: Callable[[], None],
+        batch: int,
+    ) -> None:
+        """Adopt ``pending`` as this tracer's record buffer.
+
+        Streaming mode for a disk writer: emit's ordinary append feeds
+        the writer's batch directly, so each traced event pays one list
+        append plus a length check instead of a per-record sink call.
+        Once ``pending`` holds ``batch`` records, ``drain`` is invoked
+        to encode and clear them in place — meaning ``self.records``
+        only ever holds the *undrained tail*; the full sequence lives
+        wherever ``drain`` puts it.
+        """
+        if batch < 1:
+            raise ValueError("stream batch must be positive")
+        pending.extend(self.records)
+        self.records = pending
+        self.ring = False
+        # The capacity check runs before drain gets a chance, so it must
+        # sit safely above the batch threshold or records would be
+        # silently dropped instead of drained.
+        self.capacity = max(self.capacity, 4 * batch)
+        self._stream_drain = drain
+        self._stream_batch = batch
+
     # ------------------------------------------------------------------
     def emit(
         self,
@@ -86,12 +125,20 @@ class Tracer:
         """Record an event (no-op when the category is disabled)."""
         if category not in self._enabled:
             return
-        record = TraceRecord(time_ns, category, event, subject, details)
-        if len(self.records) >= self.capacity:
+        # Hot path: raw tuple.__new__ skips the generated NamedTuple
+        # __new__ (argument re-binding and defaults) — the 5-tuple here
+        # matches the field order by construction.
+        record = tuple.__new__(
+            TraceRecord, (time_ns, category, event, subject, details)
+        )
+        records = self.records
+        if len(records) >= self.capacity:
             self.dropped += 1
             if not self.ring:
                 return
-        self.records.append(record)
+        records.append(record)
+        if self._stream_drain is not None and len(records) >= self._stream_batch:
+            self._stream_drain()
         for sink in self.sinks:
             sink(record)
 

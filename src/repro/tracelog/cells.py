@@ -1,0 +1,56 @@
+"""Replayable experiment cells with JSON-able signatures.
+
+:func:`repro.tracelog.replay.capture_run` embeds a function reference
+plus its kwargs in the trace header, so replay targets must take plain
+JSON types.  The experiment entry points take enums
+(:class:`repro.experiments.setups.Config`), so these thin wrappers
+bridge by name — they are what ``scripts/trace_tools.py capture`` and
+the CI ``trace-replay`` job invoke.
+"""
+
+from __future__ import annotations
+
+
+def fig6_cell(
+    app: str = "cg",
+    vcpus: int = 4,
+    config: str = "VSCALE",
+    seed: int = 3,
+    work_scale: float = 0.2,
+    scheduler: str | None = None,
+):
+    """One fig6 NPB cell (active spinning), keyed by config name."""
+    from repro.experiments.npb_common import run_cell
+    from repro.experiments.setups import Config
+    from repro.workloads.openmp import SPINCOUNT_ACTIVE
+
+    return run_cell(
+        app,
+        vcpus,
+        SPINCOUNT_ACTIVE,
+        Config[config],
+        seed=seed,
+        work_scale=work_scale,
+        scheduler=scheduler,
+    )
+
+
+def chaos_cell(
+    profile: str = "crash",
+    app: str = "cg",
+    seed: int = 3,
+    work_scale: float = 0.2,
+    chaos_seed: int = 17,
+    scheduler: str | None = None,
+):
+    """One chaos cell (fault profile + recovery protocols enabled)."""
+    from repro.experiments.chaos import run_chaos_cell
+
+    return run_chaos_cell(
+        profile,
+        app_name=app,
+        seed=seed,
+        work_scale=work_scale,
+        chaos_seed=chaos_seed,
+        scheduler=scheduler,
+    )

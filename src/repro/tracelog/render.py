@@ -1,0 +1,183 @@
+"""Gantt rendering of vCPU↔pCPU occupancy from a trace.
+
+Built from the scheduler's ``sched/run`` (carries ``pcpu=``) and
+``sched/stop`` events, with freeze intervals overlaid from
+``vscale/freeze_mark`` / ``vscale/unfreeze``.  Two backends: a
+fixed-width ASCII timeline (one row per vCPU, one column per time
+bucket) and a standalone SVG with one rect per occupancy interval and
+dashed edges at freeze boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import TraceRecord
+
+_IDLE = "."
+_FROZEN = "F"
+_PCPU_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+_SVG_COLORS = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+@dataclass(frozen=True)
+class Interval:
+    subject: str
+    start_ns: int
+    end_ns: int
+    pcpu: int | None  # None for freeze intervals
+
+
+def occupancy_intervals(
+    records: list[TraceRecord], until_ns: int | None = None
+) -> tuple[list[Interval], list[Interval]]:
+    """Extract (run intervals, freeze intervals) from a trace.
+
+    Open intervals (a vCPU still running / still frozen when the trace
+    ends) are closed at the last event timestamp so partial traces from
+    crashed runs still render.
+    """
+    end = until_ns if until_ns is not None else (
+        records[-1].time_ns if records else 0
+    )
+    runs: list[Interval] = []
+    freezes: list[Interval] = []
+    running: dict[str, tuple[int, int]] = {}  # subject -> (start, pcpu)
+    frozen: dict[str, int] = {}  # subject -> start
+
+    for record in records:
+        subject = record.subject
+        if record.category == "sched":
+            if record.event == "run" and "pcpu" in record.details:
+                running[subject] = (record.time_ns, record.details["pcpu"])
+            elif record.event == "stop":
+                started = running.pop(subject, None)
+                if started is not None and record.time_ns > started[0]:
+                    runs.append(
+                        Interval(subject, started[0], record.time_ns, started[1])
+                    )
+        elif record.category == "vscale":
+            if record.event == "freeze_mark":
+                frozen.setdefault(subject, record.time_ns)
+            elif record.event == "unfreeze":
+                started_at = frozen.pop(subject, None)
+                if started_at is not None and record.time_ns > started_at:
+                    freezes.append(Interval(subject, started_at, record.time_ns, None))
+
+    for subject, (start, pcpu) in sorted(running.items()):
+        if end > start:
+            runs.append(Interval(subject, start, end, pcpu))
+    for subject, start in sorted(frozen.items()):
+        if end > start:
+            freezes.append(Interval(subject, start, end, None))
+    return runs, freezes
+
+
+def _subjects(runs: list[Interval], freezes: list[Interval]) -> list[str]:
+    return sorted({iv.subject for iv in runs} | {iv.subject for iv in freezes})
+
+
+def ascii_gantt(records: list[TraceRecord], width: int = 100) -> str:
+    """One row per vCPU; each column is a time bucket whose glyph is the
+    pCPU index the vCPU occupied ('.' idle, 'F' frozen)."""
+    runs, freezes = occupancy_intervals(records)
+    subjects = _subjects(runs, freezes)
+    if not subjects:
+        return "(no sched occupancy events in trace)"
+    t0 = min(iv.start_ns for iv in runs + freezes)
+    t1 = max(iv.end_ns for iv in runs + freezes)
+    span = max(t1 - t0, 1)
+    bucket = span / width
+
+    rows = {s: [_IDLE] * width for s in subjects}
+    for iv in runs:
+        glyph = _PCPU_GLYPHS[iv.pcpu % len(_PCPU_GLYPHS)]
+        lo = int((iv.start_ns - t0) / bucket)
+        hi = max(lo + 1, int((iv.end_ns - t0) / bucket))
+        for col in range(lo, min(hi, width)):
+            rows[iv.subject][col] = glyph
+    # Freeze overlays win: a frozen vCPU must read as frozen even if a
+    # run interval brushes the same bucket.
+    for iv in freezes:
+        lo = int((iv.start_ns - t0) / bucket)
+        hi = max(lo + 1, int((iv.end_ns - t0) / bucket))
+        for col in range(lo, min(hi, width)):
+            rows[iv.subject][col] = _FROZEN
+
+    label_w = max(len(s) for s in subjects)
+    lines = [
+        f"time: {t0} .. {t1} ns  ({span / 1e6:.3f} ms, "
+        f"{bucket / 1e3:.1f} us/col)  glyph=pcpu  .=idle  F=frozen"
+    ]
+    lines.extend(f"{s:<{label_w}} |{''.join(rows[s])}|" for s in subjects)
+    return "\n".join(lines)
+
+
+def svg_gantt(records: list[TraceRecord], width: int = 960) -> str:
+    """A standalone SVG: one lane per vCPU, colored rects per pCPU
+    occupancy, hatched overlays for freeze intervals."""
+    runs, freezes = occupancy_intervals(records)
+    subjects = _subjects(runs, freezes)
+    if not subjects:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+    t0 = min(iv.start_ns for iv in runs + freezes)
+    t1 = max(iv.end_ns for iv in runs + freezes)
+    span = max(t1 - t0, 1)
+
+    lane_h, gap, label_w = 22, 6, 140
+    height = len(subjects) * (lane_h + gap) + gap + 20
+    scale = (width - label_w - 10) / span
+    lane = {s: i for i, s in enumerate(subjects)}
+
+    def x(t: int) -> float:
+        return label_w + (t - t0) * scale
+
+    def y(subject: str) -> int:
+        return gap + lane[subject] * (lane_h + gap)
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' font-family='monospace' font-size='11'>",
+        "<defs><pattern id='freeze' width='6' height='6' "
+        "patternUnits='userSpaceOnUse' patternTransform='rotate(45)'>"
+        "<rect width='6' height='6' fill='none'/>"
+        "<line x1='0' y1='0' x2='0' y2='6' stroke='#d62728' "
+        "stroke-width='2'/></pattern></defs>",
+    ]
+    for subject in subjects:
+        parts.append(
+            f"<text x='4' y='{y(subject) + lane_h - 6}'>{subject}</text>"
+        )
+        parts.append(
+            f"<rect x='{label_w}' y='{y(subject)}' "
+            f"width='{width - label_w - 10}' height='{lane_h}' "
+            "fill='#f4f4f4'/>"
+        )
+    for iv in runs:
+        color = _SVG_COLORS[iv.pcpu % len(_SVG_COLORS)]
+        parts.append(
+            f"<rect x='{x(iv.start_ns):.2f}' y='{y(iv.subject)}' "
+            f"width='{max((iv.end_ns - iv.start_ns) * scale, 0.5):.2f}' "
+            f"height='{lane_h}' fill='{color}'>"
+            f"<title>{iv.subject} on pcpu{iv.pcpu} "
+            f"[{iv.start_ns}..{iv.end_ns}]</title></rect>"
+        )
+    for iv in freezes:
+        parts.append(
+            f"<rect x='{x(iv.start_ns):.2f}' y='{y(iv.subject)}' "
+            f"width='{max((iv.end_ns - iv.start_ns) * scale, 0.5):.2f}' "
+            f"height='{lane_h}' fill='url(#freeze)' stroke='#d62728' "
+            f"stroke-dasharray='3,2'>"
+            f"<title>{iv.subject} frozen "
+            f"[{iv.start_ns}..{iv.end_ns}]</title></rect>"
+        )
+    parts.append(
+        f"<text x='{label_w}' y='{height - 4}'>"
+        f"{t0} .. {t1} ns ({span / 1e6:.3f} ms)</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

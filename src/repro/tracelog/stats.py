@@ -1,0 +1,142 @@
+"""Latency and volume statistics derived from a trace.
+
+The headline metric is *wakeup-to-run latency*: how long a vCPU sat
+``runnable`` before a scheduler put it on a pCPU, extracted from the
+``sched/state`` transition events.  This is the per-scheduler signal the
+ROADMAP's latency-conformance axis compares (Akita-style per-VM latency
+accounting), and what the ``stats`` subcommand of
+``scripts/trace_tools.py`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.trace import TraceRecord
+
+
+@dataclass
+class LatencyDist:
+    """Order statistics over a sample of integer-ns latencies."""
+
+    samples: list[int] = field(default_factory=list)
+
+    def add(self, value: int) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> int:
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_ns": self.percentile(0.50),
+            "p95_ns": self.percentile(0.95),
+            "p99_ns": self.percentile(0.99),
+            "max_ns": max(self.samples) if self.samples else 0,
+            "mean_ns": (
+                sum(self.samples) // len(self.samples) if self.samples else 0
+            ),
+        }
+
+
+def wakeup_latency(records: list[TraceRecord]) -> dict[str, LatencyDist]:
+    """Per-vCPU runnable→running latency distributions.
+
+    A sample starts when a ``sched/state`` event enters ``runnable`` (a
+    genuine wakeup — the runnable↔running edges themselves are not
+    traced as state events, being implied by dispatch records) and ends
+    at the next ``sched/run`` dispatch of the same subject.
+    """
+    pending: dict[str, int] = {}
+    dists: dict[str, LatencyDist] = {}
+    for record in records:
+        if record.category != "sched":
+            continue
+        subject = record.subject
+        if record.event == "state":
+            if record.details.get("new") == "runnable":
+                pending[subject] = record.time_ns
+            else:
+                pending.pop(subject, None)
+        elif record.event == "run":
+            started = pending.pop(subject, None)
+            if started is not None:
+                dists.setdefault(subject, LatencyDist()).add(
+                    record.time_ns - started
+                )
+    return dists
+
+
+def irq_delay(records: list[TraceRecord]) -> LatencyDist:
+    """Distribution of posted-to-delivered IRQ delays (``irq/deliver``
+    events carry ``delay_ns``)."""
+    dist = LatencyDist()
+    for record in records:
+        if record.category == "irq" and record.event == "deliver":
+            delay = record.details.get("delay_ns")
+            if isinstance(delay, int):
+                dist.add(delay)
+    return dist
+
+
+def event_counts(records: list[TraceRecord]) -> dict[str, int]:
+    """Event volume per ``category/event`` key, sorted by key."""
+    counts: dict[str, int] = {}
+    for record in records:
+        key = f"{record.category}/{record.event}"
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_stats(records: list[TraceRecord]) -> str:
+    """The ``trace_tools.py stats`` report."""
+    lines = [f"events: {len(records)}"]
+    if records:
+        span = records[-1].time_ns - records[0].time_ns
+        lines.append(
+            f"span: {records[0].time_ns} .. {records[-1].time_ns} ns "
+            f"({span / 1e6:.3f} ms)"
+        )
+    lines.append("")
+    lines.append("event counts:")
+    for key, count in event_counts(records).items():
+        lines.append(f"  {key:<28} {count}")
+
+    dists = wakeup_latency(records)
+    if dists:
+        lines.append("")
+        lines.append("wakeup-to-run latency (runnable -> running), per vCPU:")
+        header = f"  {'vcpu':<16} {'n':>6} {'p50':>10} {'p95':>10} {'p99':>10} {'max':>10}  (ns)"
+        lines.append(header)
+        total = LatencyDist()
+        for subject in sorted(dists):
+            s = dists[subject].summary()
+            lines.append(
+                f"  {subject:<16} {s['count']:>6} {s['p50_ns']:>10} "
+                f"{s['p95_ns']:>10} {s['p99_ns']:>10} {s['max_ns']:>10}"
+            )
+            total.samples.extend(dists[subject].samples)
+        s = total.summary()
+        lines.append(
+            f"  {'(all)':<16} {s['count']:>6} {s['p50_ns']:>10} "
+            f"{s['p95_ns']:>10} {s['p99_ns']:>10} {s['max_ns']:>10}"
+        )
+
+    irq = irq_delay(records)
+    if irq.count:
+        s = irq.summary()
+        lines.append("")
+        lines.append(
+            f"irq post->deliver delay: n={s['count']} p50={s['p50_ns']} "
+            f"p95={s['p95_ns']} p99={s['p99_ns']} max={s['max_ns']} ns"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Capture wiring: env hook, suffixing, limits, nesting, streaming."""
+
+import pytest
+
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.config import HostConfig
+from repro.hypervisor.machine import Machine
+from repro.parallel.executor import CellSpec, ParallelExecutor
+from repro.sim.trace import Tracer
+from repro.tracelog import capture as capture_mod
+from repro.tracelog import cells
+from repro.tracelog.capture import capture_to
+from repro.tracelog.codec import TraceWriter, load
+from repro.units import MS
+from tests.conftest import busy
+
+
+@pytest.fixture(autouse=True)
+def _reset_env_capture():
+    """Env captures register a process-global; never leak one across tests."""
+    yield
+    capture_mod._close_env_capture()
+
+
+def run_machine(seed=1):
+    machine = Machine(HostConfig(pcpus=2), seed=seed)
+    domain = machine.create_domain("vm", vcpus=2)
+    kernel = GuestKernel(domain)
+    kernel.spawn(busy(20 * MS), "w")
+    machine.start()
+    machine.run(until=50 * MS)
+    return machine
+
+
+def test_env_capture_suffixes_per_machine(tmp_path, monkeypatch):
+    base = tmp_path / "t.rtl"
+    monkeypatch.setenv("REPRO_TRACE", str(base))
+    for _ in range(3):
+        run_machine()
+    capture_mod._close_env_capture()
+    for path in (base, tmp_path / "t.rtl.1", tmp_path / "t.rtl.2"):
+        _, records = load(str(path))
+        assert records, f"{path} is empty"
+
+
+def test_env_capture_machine_limit(tmp_path, monkeypatch):
+    base = tmp_path / "t.rtl"
+    monkeypatch.setenv("REPRO_TRACE", str(base))
+    monkeypatch.setenv("REPRO_TRACE_LIMIT", "2")
+    for _ in range(4):
+        run_machine()
+    capture_mod._close_env_capture()
+    assert base.exists()
+    assert (tmp_path / "t.rtl.1").exists()
+    assert not (tmp_path / "t.rtl.2").exists()
+
+
+def test_env_capture_unknown_category_rejected(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.rtl"))
+    monkeypatch.setenv("REPRO_TRACE_CATEGORIES", "sched,nonsense")
+    with pytest.raises(ValueError, match="unknown categories"):
+        run_machine()
+
+
+def test_no_env_no_capture(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    run_machine()
+    assert capture_mod._active is None
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_nested_capture_rejected(tmp_path):
+    with capture_to(str(tmp_path / "a.rtl")):
+        with pytest.raises(RuntimeError, match="already active"):
+            with capture_to(str(tmp_path / "b.rtl")):
+                pass
+
+
+def test_capture_to_category_filter(tmp_path):
+    path = tmp_path / "t.rtl"
+    with capture_to(str(path), categories={"irq"}):
+        run_machine()
+    _, records = load(str(path))
+    assert all(r.category == "irq" for r in records)
+
+
+def test_streaming_adopts_tracer_buffer(tmp_path):
+    """stream_into: the writer's pending batch IS the tracer's records,
+    and drained records leave only the undrained tail in memory."""
+    path = tmp_path / "t.rtl"
+    writer = TraceWriter(str(path))
+    tracer = Tracer({"sched"})
+    writer.stream_into(tracer)
+    assert tracer.records is writer._pending
+    for i in range(10):
+        tracer.emit(i, "sched", "run", "v0")
+    assert len(tracer.records) == 10  # below batch threshold: undrained
+    writer.close()
+    assert tracer.records == []  # close() drained the shared buffer
+    _, records = load(str(path))
+    assert len(records) == 10
+
+
+def test_attach_stream_rejects_bad_batch():
+    tracer = Tracer({"sched"})
+    with pytest.raises(ValueError, match="batch must be positive"):
+        tracer.attach_stream([], lambda: None, 0)
+
+
+def test_attach_stream_drains_at_batch_threshold():
+    drained = []
+    pending: list = []
+    tracer = Tracer({"sched"})
+    tracer.attach_stream(pending, lambda: drained.append(len(pending)), 4)
+    for i in range(4):
+        tracer.emit(i, "sched", "run", "v0")
+    assert drained == [4]  # fired exactly once, at the threshold
+
+
+def test_executor_trace_dir_writes_one_trace_per_cell(tmp_path):
+    trace_dir = tmp_path / "traces"
+    executor = ParallelExecutor(jobs=1, cache=None, trace_dir=trace_dir)
+    kwargs = {"app": "cg", "vcpus": 2, "config": "VSCALE", "seed": 3,
+              "work_scale": 0.02}
+    specs = [
+        CellSpec("fig6", f"seed{seed}", cells.fig6_cell, {**kwargs, "seed": seed})
+        for seed in (3, 4)
+    ]
+    results = executor.run_cells(specs)
+    assert len(results) == 2
+    produced = sorted(p.name for p in trace_dir.iterdir())
+    assert produced == ["fig6__seed3.rtl", "fig6__seed4.rtl"]
+    for path in trace_dir.iterdir():
+        meta, records = load(str(path))
+        assert meta["source"] == "executor"
+        assert records

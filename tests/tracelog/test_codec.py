@@ -1,0 +1,158 @@
+"""Round-trip, robustness and batching tests for the RTLG binary codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import TraceRecord
+from repro.tracelog.codec import _BATCH_RECORDS, TraceFormatError, TraceWriter, load
+
+
+def write_trace(path, records, meta=None):
+    writer = TraceWriter(str(path), meta or {})
+    for record in records:
+        writer.write(record)
+    writer.close()
+
+
+# -- value strategies ---------------------------------------------------
+# bool must come before int in the union: True == 1 == 1.0 hash and
+# compare alike, and the codec must preserve the concrete type anyway.
+detail_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.none(),
+    st.lists(st.integers(min_value=-100, max_value=100), max_size=4),
+)
+
+record_strategy = st.builds(
+    TraceRecord,
+    time_ns=st.integers(min_value=0, max_value=2**60),
+    category=st.sampled_from(["sched", "irq", "vscale", "fault"]),
+    event=st.text(min_size=1, max_size=12),
+    subject=st.text(min_size=1, max_size=12),
+    details=st.dictionaries(st.text(min_size=1, max_size=8), detail_values, max_size=4),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(record_strategy, max_size=40))
+def test_roundtrip_preserves_records(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("codec") / "t.rtl"
+    write_trace(path, records, meta={"k": "v"})
+    meta, loaded = load(str(path))
+    assert meta["k"] == "v"
+    assert len(loaded) == len(records)
+    for original, decoded in zip(records, loaded):
+        assert decoded.time_ns == original.time_ns
+        assert decoded.category == original.category
+        assert decoded.event == original.event
+        assert decoded.subject == original.subject
+        for key, value in original.details.items():
+            got = decoded.details[key]
+            assert got == value
+            if not isinstance(value, list):  # lists ride the JSON fallback
+                assert type(got) is type(value)
+
+
+def test_memo_distinguishes_bool_int_float(tmp_path):
+    """True == 1 == 1.0 must not share a memoized body."""
+    path = tmp_path / "t.rtl"
+    values = [1, True, 1.0, 1, False, 0, 0.0]
+    records = [
+        TraceRecord(i, "sched", "run", "v0", {"x": value})
+        for i, value in enumerate(values)
+    ]
+    write_trace(path, records)
+    _, loaded = load(str(path))
+    for value, record in zip(values, loaded):
+        assert record.details["x"] == value
+        assert type(record.details["x"]) is type(value)
+
+
+def test_time_deltas_allow_regression(tmp_path):
+    """Zigzag time deltas: out-of-order timestamps still round-trip."""
+    path = tmp_path / "t.rtl"
+    times = [100, 50, 200, 0, 2**40]
+    records = [TraceRecord(t, "sched", "run", "v0") for t in times]
+    write_trace(path, records)
+    _, loaded = load(str(path))
+    assert [r.time_ns for r in loaded] == times
+
+
+def test_batch_threshold_crossing(tmp_path):
+    """More records than one batch: mid-stream drains keep everything."""
+    path = tmp_path / "t.rtl"
+    count = _BATCH_RECORDS + 7
+    records = [TraceRecord(i, "sched", "run", f"v{i % 3}") for i in range(count)]
+    write_trace(path, records)
+    _, loaded = load(str(path))
+    assert len(loaded) == count
+    assert loaded[-1].time_ns == count - 1
+
+
+def test_flush_makes_prefix_readable(tmp_path):
+    path = tmp_path / "t.rtl"
+    writer = TraceWriter(str(path))
+    writer.write(TraceRecord(1, "sched", "run", "v0"))
+    writer.write(TraceRecord(2, "sched", "stop", "v0"))
+    writer.flush()
+    # Still open (no END record): strict load fails, lenient sees both.
+    with pytest.raises(TraceFormatError):
+        load(str(path))
+    _, loaded = load(str(path), strict=False)
+    assert [r.event for r in loaded] == ["run", "stop"]
+    writer.close()
+    _, loaded = load(str(path))
+    assert len(loaded) == 2
+
+
+def test_write_after_close_raises(tmp_path):
+    path = tmp_path / "t.rtl"
+    writer = TraceWriter(str(path))
+    writer.close()
+    with pytest.raises(TraceFormatError):
+        writer.write(TraceRecord(1, "sched", "run", "v0"))
+
+
+def test_close_is_idempotent(tmp_path):
+    path = tmp_path / "t.rtl"
+    writer = TraceWriter(str(path))
+    writer.write(TraceRecord(1, "sched", "run", "v0"))
+    writer.close()
+    writer.close()
+    _, loaded = load(str(path))
+    assert len(loaded) == 1
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "t.rtl"
+    path.write_bytes(b"NOPE" + b"\x00" * 40)
+    with pytest.raises(TraceFormatError):
+        load(str(path))
+
+
+def test_truncated_trace_strict_vs_lenient(tmp_path):
+    path = tmp_path / "t.rtl"
+    records = [
+        TraceRecord(i, "sched", "run", "v0", {"pcpu": i % 4}) for i in range(50)
+    ]
+    write_trace(path, records)
+    data = path.read_bytes()
+    truncated = tmp_path / "trunc.rtl"
+    truncated.write_bytes(data[: len(data) - 9])
+    with pytest.raises(TraceFormatError):
+        load(str(truncated))
+    _, loaded = load(str(truncated), strict=False)
+    assert 0 < len(loaded) <= 50
+    for i, record in enumerate(loaded):
+        assert record.time_ns == i
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "t.rtl"
+    path.write_bytes(b"")
+    with pytest.raises(TraceFormatError):
+        load(str(path))

@@ -1,0 +1,44 @@
+"""Trace determinism: same seed ⇒ byte-identical files; tracing never
+changes simulation results."""
+
+import hashlib
+
+from repro.tracelog import cells
+from repro.tracelog.capture import capture_to
+
+KWARGS = {"app": "cg", "vcpus": 2, "config": "VSCALE", "seed": 7,
+          "work_scale": 0.02}
+
+
+def _sha(path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def test_same_seed_traces_are_byte_identical(tmp_path):
+    digests = []
+    for i in range(2):
+        path = tmp_path / f"run{i}.rtl"
+        with capture_to(str(path)):
+            cells.fig6_cell(**KWARGS)
+        digests.append(_sha(path))
+    assert digests[0] == digests[1]
+
+
+def test_different_seed_traces_differ(tmp_path):
+    digests = []
+    for seed in (7, 8):
+        path = tmp_path / f"seed{seed}.rtl"
+        with capture_to(str(path)):
+            cells.fig6_cell(**{**KWARGS, "seed": seed})
+        digests.append(_sha(path))
+    assert digests[0] != digests[1]
+
+
+def test_tracing_does_not_change_results(tmp_path):
+    """The traced run's cell result equals the untraced run's — tracing
+    observes the simulation without perturbing it."""
+    untraced = cells.fig6_cell(**KWARGS)
+    path = tmp_path / "traced.rtl"
+    with capture_to(str(path)):
+        traced = cells.fig6_cell(**KWARGS)
+    assert traced.duration_ns == untraced.duration_ns

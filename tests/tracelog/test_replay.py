@@ -1,0 +1,86 @@
+"""Replay verification: fingerprint match, structured divergence."""
+
+import pytest
+
+from repro.sim.trace import TraceRecord
+from repro.tracelog import cells
+from repro.tracelog.codec import TraceWriter, load
+from repro.tracelog.replay import (
+    capture_run,
+    compare_records,
+    replay_run,
+    replay_verify,
+    trace_fingerprint,
+)
+
+CELL_KWARGS = {"app": "cg", "vcpus": 2, "config": "VSCALE", "seed": 3,
+               "work_scale": 0.02}
+
+
+@pytest.fixture(scope="module")
+def fig6_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("replay") / "fig6.rtl"
+    capture_run(cells.fig6_cell, CELL_KWARGS, str(path))
+    return str(path)
+
+
+def test_replay_verify_matches(fig6_trace):
+    report = replay_verify(fig6_trace)
+    assert report.match
+    assert report.fingerprint_a == report.fingerprint_b
+    assert report.count_a == report.count_b > 0
+    assert "traces match" in report.render()
+
+
+def test_replay_run_produces_equal_fingerprint(fig6_trace, tmp_path):
+    out = tmp_path / "replayed.rtl"
+    replay_run(fig6_trace, str(out))
+    assert trace_fingerprint(fig6_trace) == trace_fingerprint(str(out))
+
+
+def test_mutated_trace_yields_structured_divergence(fig6_trace, tmp_path):
+    """A tampered trace must produce a DivergenceReport, not a crash."""
+    meta, records = load(fig6_trace)
+    victim = len(records) // 2
+    mutated = list(records)
+    original = mutated[victim]
+    mutated[victim] = TraceRecord(
+        original.time_ns + 17, original.category, original.event,
+        original.subject, original.details,
+    )
+    out = tmp_path / "mutated.rtl"
+    writer = TraceWriter(str(out), meta)
+    for record in mutated:
+        writer.write(record)
+    writer.close()
+
+    report = replay_verify(str(out))
+    assert not report.match
+    assert report.first_divergence == victim
+    assert report.expected is not None and report.actual is not None
+    assert report.expected.time_ns == original.time_ns + 17
+    assert report.actual.time_ns == original.time_ns
+    assert len(report.tail_a) <= 10
+    rendered = report.render()
+    assert "divergence" in rendered
+    assert "expected:" in rendered
+
+
+def test_dropped_record_reports_prefix_divergence():
+    base = [TraceRecord(i, "sched", "run", "v0") for i in range(5)]
+    report = compare_records(base, base[:3])
+    assert not report.match
+    assert report.first_divergence == 3
+    assert report.count_a == 5 and report.count_b == 3
+    assert report.actual is None  # B is a strict prefix
+
+
+def test_env_capture_has_no_replay_metadata(tmp_path, monkeypatch):
+    """Traces without embedded run metadata refuse replay with ValueError."""
+    from repro.tracelog.capture import capture_to
+
+    path = tmp_path / "anon.rtl"
+    with capture_to(str(path)):
+        cells.fig6_cell(**CELL_KWARGS)
+    with pytest.raises(ValueError, match="no embedded run metadata"):
+        replay_run(str(path))
