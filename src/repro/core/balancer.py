@@ -27,7 +27,7 @@ import numpy as np
 from repro.faults.errors import FreezeFailure
 from repro.hypervisor.irq import IRQClass
 from repro.metrics.collectors import LatencyReservoir
-from repro.sim.rng import jittered
+from repro.sim.rng import jittered_sum
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.guest.kernel import GuestKernel
@@ -214,13 +214,16 @@ class VScaleBalancer:
 
     # ------------------------------------------------------------------
     def _master_cost(self) -> int:
-        cost = (
-            jittered(self.rng, self.costs.syscall_ns, 0.05)
-            + jittered(self.rng, self.costs.lock_ns, 0.10)
-            + jittered(self.rng, self.costs.mask_ns, 0.10)
-            + jittered(self.rng, self.costs.group_power_ns, 0.10)
-            + jittered(self.rng, self.costs.hypercall_ns, 0.08)
-            + jittered(self.rng, self.costs.ipi_send_ns, 0.05)
+        cost = jittered_sum(
+            self.rng,
+            (
+                (self.costs.syscall_ns, 0.05),
+                (self.costs.lock_ns, 0.10),
+                (self.costs.mask_ns, 0.10),
+                (self.costs.group_power_ns, 0.10),
+                (self.costs.hypercall_ns, 0.08),
+                (self.costs.ipi_send_ns, 0.05),
+            ),
         )
         self.master_latency.record(cost)
         return cost

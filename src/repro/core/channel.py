@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.faults.errors import ChannelReadError
 from repro.metrics.collectors import LatencyReservoir
-from repro.sim.rng import jittered
+from repro.sim.rng import jittered_sum
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hypervisor.domain import Domain
@@ -104,8 +104,9 @@ class VScaleChannel:
         stale snapshot from the recent-read history.
         """
         machine = self.domain.machine
-        cost = jittered(self.rng, self.costs.syscall_ns, 0.06) + jittered(
-            self.rng, self.costs.hypercall_ns, 0.08
+        cost = jittered_sum(
+            self.rng,
+            ((self.costs.syscall_ns, 0.06), (self.costs.hypercall_ns, 0.08)),
         )
         self.reads += 1
         self.read_latency.record(cost)

@@ -144,6 +144,7 @@ def compute_extendability(
             competitors.append(usage)
 
     competitor_weight = sum(u.weight for u in competitors)
+    competitor_names = {u.name for u in competitors}
     for usage in competitors:
         s_fair = fair_share[usage.name]
         share_of_slack = (usage.weight / competitor_weight) * slack
@@ -166,7 +167,7 @@ def compute_extendability(
             fair_share_ns=round(fair_share[usage.name]),
             extendability_ns=round(ext),
             optimal_vcpus=n,
-            is_competitor=usage in competitors,
+            is_competitor=usage.name in competitor_names,
         )
     return results
 

@@ -1,0 +1,61 @@
+"""Optional vectorized kernels for batch accounting paths.
+
+The hot per-epoch loops (credit distribution, clipped balance updates)
+are elementwise float operations.  When numpy is importable they run as
+single array expressions; otherwise — or under ``REPRO_NO_VECTOR=1`` —
+a plain scalar loop produces **bit-identical** results, so goldens and
+the hypothesis equivalence suites hold on either path.
+
+Only *elementwise* operations are vectorized: ``v + d``, ``min``/``max``
+clamping and the like are IEEE-identical whether they run through numpy
+ufuncs or Python floats.  Reductions (``sum``) are deliberately left as
+Python left-folds in the callers — ``np.sum`` uses pairwise summation,
+which rounds differently, and determinism outranks speed here.
+
+numpy itself remains a base dependency of the package because the
+deterministic RNG streams are ``numpy.random.Generator`` (PCG64) state —
+the ``[fast]`` extra exists to opt a deployment into the vectorized
+batch paths explicitly, and this module degrades to the scalar loop when
+the import is unavailable (e.g. a vendored trimmed install) or disabled.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via REPRO_NO_VECTOR in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - bare install
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+def _vector_enabled() -> bool:
+    return HAVE_NUMPY and os.environ.get("REPRO_NO_VECTOR", "0") != "1"
+
+
+def clipped_add(values, delta, lo, hi):
+    """Elementwise ``min(hi, max(lo, v + delta))`` over ``values``.
+
+    The credit scheduler's per-epoch balance update (csched_acct's clamp
+    to ``[-acct, +acct]``), batched over all active vCPUs of a domain.
+
+    Bit-identical to the scalar loop on both paths: addition and
+    min/max on IEEE doubles are single correctly-rounded operations and
+    ``np.clip`` composes the same primitives elementwise.  One Python
+    quirk is preserved deliberately: ``min(hi, max(lo, x))`` returns the
+    *bound object itself* (often an int) when it clamps, and serialized
+    state (checkpoint fingerprints) can see the int/float difference —
+    so the vector path substitutes the original ``lo``/``hi`` objects
+    back into clamped slots.
+    """
+    if len(values) >= _MIN_BATCH and _vector_enabled():
+        arr = _np.asarray(values, dtype=_np.float64)
+        out = _np.clip(arr + delta, lo, hi).tolist()
+        return [lo if x == lo else hi if x == hi else x for x in out]
+    return [min(hi, max(lo, v + delta)) for v in values]
+
+
+#: Below this batch size the array round-trip costs more than it saves.
+_MIN_BATCH = 8

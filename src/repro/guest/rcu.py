@@ -49,7 +49,10 @@ class RCUDomain:
         self.completed_grace_periods = 0
         #: (grace period number, latency ns) history for analysis.
         self.latencies: list[tuple[int, int]] = []
-        kernel.rcu = self  # the kernel's tick reports quiescent states
+        kernel.rcu = self
+        # The kernel's tick reports quiescent states from here on: close
+        # any macro-stepped tick regions that assumed no RCU.
+        kernel._macro_refresh()
 
     # ------------------------------------------------------------------
     def call_rcu(self, callback: Callable[[], None]) -> int:

@@ -114,13 +114,11 @@ class Credit2Scheduler(QueueScheduler):
         equal shares whenever a reset fires early on a multi-pCPU pool.
         """
         init = float(self.credit_init)
-        for queue in self.queues.values():
-            for vcpu in queue:
-                vcpu.credits = init + max(-init, min(vcpu.credits, init))
+        contenders = [vcpu for queue in self.queues.values() for vcpu in queue]
         for pcpu in self.machine.pool:
-            current = pcpu.current
-            if current is not None:
-                current.credits = init + max(-init, min(current.credits, init))
+            if pcpu.current is not None:
+                contenders.append(pcpu.current)
+        self.accounting_batch(contenders, 0.0, -init, init, shift=init)
 
     # -- accounting ------------------------------------------------------
     def _charge(self, vcpu: VCPU, elapsed: int) -> None:

@@ -16,8 +16,14 @@ Compatibility note: the state format is keyed by stable names (domain
 names, ``domain/index`` vCPU labels, thread names, callback qualnames),
 never by object identity or the process-global thread-id counter, so
 fingerprints compare across independently built machines in the same or
-different processes.  The format is versioned (``FORMAT_VERSION``);
-bumping it invalidates stored checkpoints, never silently misreads them.
+different processes.  Fingerprints are additionally *engine-invariant*:
+they hash a canonical view that drops guest tick events (macro mode
+represents elided tick chains as kernel bookkeeping rather than queue
+entries) and replaces absolute event sequence numbers with within-time
+ranks (the causal scheduling order, which all engines share).  The raw
+engine queue stays in the state dict for same-engine diagnostics.  The
+format is versioned (``FORMAT_VERSION``); bumping it invalidates stored
+checkpoints, never silently misreads them.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from typing import TYPE_CHECKING, Callable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hypervisor.machine import Machine
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2  # v2: engine-invariant fingerprints (canonical_view)
 
 
 class RestoreMismatch(RuntimeError):
@@ -147,9 +153,40 @@ def state_dict(machine: "Machine") -> dict:
     }
 
 
+#: Callbacks whose queue entries are an engine-representation detail: the
+#: macro engine elides provably-quiescent guest ticks (their chain state
+#: lives in GuestKernel bookkeeping instead), so their presence, timing
+#: grid and sequence numbers legitimately differ between engines while
+#: the simulated machine is in the same logical state.
+_ENGINE_PRIVATE_CALLBACKS = frozenset({
+    "repro.guest.kernel.GuestKernel._tick",
+})
+
+
+def canonical_view(state: dict) -> dict:
+    """The engine-invariant projection of a state dict that fingerprints
+    hash.  Guest tick events are dropped and each remaining event's
+    global sequence number becomes its rank among same-time events —
+    identical across wheel/heap/macro captures of the same instant."""
+    engine = state.get("engine") or {}
+    by_time: dict[int, list] = {}
+    for time, seq, callback in engine.get("events") or []:
+        if callback in _ENGINE_PRIVATE_CALLBACKS:
+            continue
+        by_time.setdefault(time, []).append((seq, callback))
+    rows = []
+    for time in sorted(by_time):
+        for rank, (_seq, callback) in enumerate(sorted(by_time[time])):
+            rows.append([time, rank, callback])
+    out = dict(state)
+    out["engine"] = {"events": rows}
+    return out
+
+
 def fingerprint(state: dict) -> str:
-    """SHA-256 over the canonical serialization of a state dict."""
-    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    """SHA-256 over the canonical (engine-invariant) serialization."""
+    canonical = json.dumps(canonical_view(state), sort_keys=True,
+                           separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

@@ -343,7 +343,12 @@ class _WheelQueue:
         return True
 
 
-_ENGINES = {"wheel": _WheelQueue, "heap": _HeapQueue}
+# "macro" runs on the wheel queue but additionally advertises itself to
+# clients (via ``Simulator.macro``) as permitting macro-stepping: consumers
+# such as the guest kernel may then elide provably-quiescent events and
+# advance their effects in closed form.  The engine itself is unchanged —
+# quiescence detection lives with the state it reasons about.
+_ENGINES = {"wheel": _WheelQueue, "heap": _HeapQueue, "macro": _WheelQueue}
 
 
 class Simulator:
@@ -364,7 +369,7 @@ class Simulator:
 
     def __init__(self, engine: str | None = None) -> None:
         if engine is None:
-            # Both engines produce identical event orderings, so the choice
+            # All engines produce identical event orderings, so the choice
             # is a pure performance knob; the env override lets the perf
             # harness A/B them without threading a parameter everywhere.
             engine = os.environ.get("REPRO_SIM_ENGINE", "wheel")
@@ -374,6 +379,11 @@ class Simulator:
             )
         self.now: int = 0
         self.engine = engine
+        #: Macro-stepping opt-in: event producers that can prove a stretch
+        #: of their own events quiescent (no observable effect beyond
+        #: counter bumps) may skip scheduling them and fold the effects in
+        #: arithmetically.  See ``GuestKernel._macro_horizon``.
+        self.macro = engine == "macro"
         self._queue = _ENGINES[engine]()
         self._seq: int = 0
         self._running = False

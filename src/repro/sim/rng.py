@@ -265,3 +265,27 @@ def jittered(rng, mean_ns: int, rel_sigma: float = 0.05) -> int:
     """
     value = rng.normal(mean_ns, mean_ns * rel_sigma)
     return max(1, round(value))
+
+
+def jittered_sum(rng, costs) -> int:
+    """Sum of independently jittered costs, drawn in one coalesced pass.
+
+    ``costs`` is a sequence of ``(mean_ns, rel_sigma)`` pairs.  The hot
+    cost models chain several :func:`jittered` samples per operation (a
+    channel read is syscall + hypercall; a balancer step is six
+    components), and each call pays four interpreter frames — wrapper,
+    ``normal``, kind check, buffer step.  This helper walks the buffered
+    stream directly, one frame per sample.
+
+    Bit-identical to summing sequential ``jittered`` calls — the same
+    variates come off the same stream positions (so checkpoint
+    fingerprints of the stream state are unchanged), the per-sample
+    scaling uses the same association ``mean + (mean * sigma) * x``, and
+    integer summation is exact.
+    """
+    if isinstance(rng, BufferedStream) and rng.kind == "normal":
+        total = 0
+        for mean_ns, rel_sigma in costs:
+            total += max(1, round(mean_ns + mean_ns * rel_sigma * rng._next()))
+        return total
+    return sum(jittered(rng, mean_ns, rel_sigma) for mean_ns, rel_sigma in costs)

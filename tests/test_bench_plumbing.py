@@ -60,16 +60,51 @@ def _load_perf_bench():
     return module
 
 
-def test_perf_bench_merge_baseline(tmp_path):
+def test_perf_bench_lineage_migrates_schema1_and_keeps_seed(tmp_path):
     import json
 
     module = _load_perf_bench()
-    before = tmp_path / "before.json"
-    before.write_text(json.dumps({"benches": {"a": {"seconds": 2.0}}}))
-    merged = module.merge_baseline({"a": {"seconds": 1.0}}, before)
-    assert merged["speedup"]["a"] == 2.0
-    assert merged["before"]["a"]["seconds"] == 2.0
-    assert merged["after"]["a"]["seconds"] == 1.0
+    output = tmp_path / "BENCH.json"
+    # Schema-1 file: "before" was the seed measurement of the original tree.
+    output.write_text(json.dumps({
+        "before": {"a": {"seconds": 4.0}},
+        "after": {"a": {"seconds": 2.0}},
+        "quick": {"a": {"seconds": 0.5}},
+    }))
+
+    payload: dict = {}
+    module.apply_lineage(payload, {"a": {"seconds": 1.0}}, output, "pr-n", None)
+    assert payload["seed_baseline"]["a"]["seconds"] == 4.0
+    assert payload["before"]["a"]["seconds"] == 2.0  # previous after
+    assert payload["after"]["a"]["seconds"] == 1.0
+    assert payload["speedup"]["a"] == 4.0  # always vs seed, not vs before
+    assert payload["quick"]["a"]["seconds"] == 0.5  # reference column survives
+    assert [run["label"] for run in payload["history"]] == ["pr-n"]
+
+    # A second recorded run must never overwrite the seed baseline.
+    output.write_text(json.dumps(payload))
+    payload2: dict = {}
+    module.apply_lineage(payload2, {"a": {"seconds": 0.5}}, output, None, None)
+    assert payload2["seed_baseline"]["a"]["seconds"] == 4.0
+    assert payload2["before"]["a"]["seconds"] == 1.0
+    assert payload2["speedup"]["a"] == 8.0
+    assert len(payload2["history"]) == 2
+
+
+def test_perf_bench_merge_baseline_file_seeds_lineage(tmp_path):
+    import json
+
+    module = _load_perf_bench()
+    output = tmp_path / "BENCH.json"  # does not exist: first ever run
+    baseline = tmp_path / "before.json"
+    baseline.write_text(json.dumps({"benches": {"a": {"seconds": 2.0}}}))
+    payload: dict = {}
+    module.apply_lineage(
+        payload, {"a": {"seconds": 1.0}}, output, None, baseline
+    )
+    assert payload["seed_baseline"]["a"]["seconds"] == 2.0
+    assert payload["before"]["a"]["seconds"] == 2.0
+    assert payload["speedup"]["a"] == 2.0
 
 
 def test_perf_bench_regression_gate(tmp_path, capsys):
